@@ -1,0 +1,40 @@
+"""Shared benchmark utilities.
+
+Each benchmark regenerates one panel of one figure of the paper at
+*quick* resolution (pytest-benchmark measures the wall time of the
+regeneration; the asserted content is the *shape* of the curves — who
+wins, where, by roughly how much).  ``python -m repro.harness --full``
+produces the full-resolution numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import Series
+
+
+def series_by_label(series_list: list[Series]) -> dict[str, dict[float, float]]:
+    """Index a panel's series as {label: {x: latency_ms}}."""
+    return {s.label: dict(s.points) for s in series_list}
+
+
+def record_panel(benchmark, figure, panel: str) -> dict[str, dict[float, float]]:
+    """Stash a panel's points in the benchmark record and return them."""
+    data = series_by_label(figure.panels[panel])
+    benchmark.extra_info[panel] = {
+        label: {str(x): round(y, 3) for x, y in points.items()}
+        for label, points in data.items()
+    }
+    return data
+
+
+def assert_dominates(
+    slower: dict[float, float],
+    faster: dict[float, float],
+    at: list[float],
+    margin: float = 1.0,
+) -> None:
+    """Assert ``slower`` has higher latency than ``faster`` at each x."""
+    for x in at:
+        assert slower[x] > faster[x] * margin, (
+            f"expected {slower[x]:.3f} > {faster[x]:.3f} (margin {margin}) at x={x}"
+        )

@@ -1,0 +1,55 @@
+"""Ablation: batching in the reduction (identifiers per consensus run).
+
+Algorithm 1 proposes the *entire* unordered set, so consensus
+executions batch more messages as load grows — the property that keeps
+the latency/throughput curves from collapsing.  Capping the batch
+destroys that amortisation: with cap=1 the stack must pay one full
+consensus per message.
+"""
+
+from repro.harness.experiment import ExperimentSpec, run_experiment
+from repro.net.setups import SETUP_1
+from repro.stack.builder import StackSpec
+
+
+def measure(batch_cap, throughput=600.0):
+    spec = ExperimentSpec(
+        name=f"batch_cap={batch_cap}",
+        stack=StackSpec(
+            n=3,
+            abcast="indirect",
+            consensus="ct-indirect",
+            rb="sender",
+            params=SETUP_1,
+            batch_cap=batch_cap,
+            seed=0,
+        ),
+        throughput=throughput,
+        payload=16,
+        duration=0.4,
+        warmup=0.1,
+        drain=2.0,
+    )
+    return run_experiment(spec)
+
+
+def test_batch_cap_sweep(benchmark):
+    results = benchmark.pedantic(
+        lambda: {cap: measure(cap) for cap in (1, 4, None)},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["latency_ms"] = {
+        str(cap): round(r.mean_latency_ms, 3) for cap, r in results.items()
+    }
+    benchmark.extra_info["instances"] = {
+        str(cap): r.instances_decided for cap, r in results.items()
+    }
+    unlimited = results[None]
+    tiny = results[1]
+    # Unbounded batching runs far fewer consensus instances...
+    assert unlimited.instances_decided < tiny.instances_decided
+    # ...and achieves much lower latency at this load.
+    assert unlimited.mean_latency_ms < tiny.mean_latency_ms / 2
+    # A cap of 4 sits in between.
+    assert unlimited.mean_latency_ms <= results[4].mean_latency_ms <= tiny.mean_latency_ms

@@ -1,0 +1,35 @@
+"""Figure 1: latency vs payload — consensus on messages vs indirect.
+
+Paper's claim: "as the size of the messages increases, the latency of
+consensus on message identifiers is lower than the latency when using
+entire messages.  This result becomes clearer as the throughput ...
+increases."  Indirect stays nearly flat; consensus-on-messages blows up.
+"""
+
+from benchmarks.conftest import assert_dominates, record_panel
+from repro.harness.figures import figure1
+
+
+def test_figure1_latency_vs_payload(benchmark):
+    figure = benchmark.pedantic(figure1, kwargs={"quick": True}, rounds=1, iterations=1)
+
+    low = record_panel(benchmark, figure, "100 msgs/s")
+    high = record_panel(benchmark, figure, "800 msgs/s")
+
+    for panel in (low, high):
+        messages = panel["Consensus"]
+        indirect = panel["Indirect consensus"]
+        # At tiny payloads the two are nearly identical...
+        assert abs(messages[1] - indirect[1]) / indirect[1] < 0.25
+        # ...and consensus-on-messages loses clearly at large payloads.
+        assert_dominates(messages, indirect, at=[2500, 5000], margin=1.2)
+
+    # The gap widens with throughput (paper: "clearer as the throughput
+    # ... increases").
+    gap_low = low["Consensus"][5000] / low["Indirect consensus"][5000]
+    gap_high = high["Consensus"][5000] / high["Indirect consensus"][5000]
+    assert gap_high > gap_low
+
+    # Indirect consensus latency is decoupled from payload: growth from
+    # 1 B to 5000 B stays within one order of magnitude at low rate.
+    assert low["Indirect consensus"][5000] < low["Indirect consensus"][1] * 10

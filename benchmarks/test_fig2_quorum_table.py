@@ -1,0 +1,27 @@
+"""Figure 2: quorum intersection arithmetic (n=7, f=2 illustration).
+
+Not a measured figure — the paper uses it to justify f < n/3 for the
+indirect MR algorithm.  The benchmark regenerates the arithmetic table
+for a wide range of group sizes and asserts the inequality chain.
+"""
+
+from repro.harness.figures import figure2_table
+
+
+def test_figure2_quorum_arithmetic(benchmark):
+    rows = benchmark.pedantic(figure2_table, rounds=1, iterations=1)
+    by_n = {row["n"]: row for row in rows}
+
+    # The paper's example: n=7, two 5-quorums overlap in >= 3 processes.
+    assert by_n[7]["phase2 quorum ⌈(2n+1)/3⌉"] == 5
+    assert by_n[7]["min overlap (n-2f)"] == 3
+    assert by_n[7]["f_max (indirect MR)"] == 2
+
+    for row in rows:
+        n, f = row["n"], row["f_max (indirect MR)"]
+        # n - 2f >= f + 1 at the declared resilience ...
+        assert row["min overlap (n-2f)"] >= f + 1
+        # ... and the adaptation never tolerates more than the original.
+        assert f <= row["f_max (original MR)"]
+        # The adoption threshold is enough to include a correct process.
+        assert row["adoption threshold ⌈(n+1)/3⌉"] >= f + 1

@@ -1,0 +1,40 @@
+"""Figure 3: latency vs throughput — indirect vs (faulty) consensus on ids.
+
+Paper's claims: the overhead of indirect consensus over the faulty
+shortcut *increases with throughput* and is larger at n=5 than n=3, but
+stays small relative to the absolute latency ("the price to pay for a
+correct implementation").
+"""
+
+from benchmarks.conftest import record_panel
+from repro.harness.figures import figure3
+
+
+def test_figure3_latency_vs_throughput(benchmark):
+    figure = benchmark.pedantic(figure3, kwargs={"quick": True}, rounds=1, iterations=1)
+
+    n3 = record_panel(benchmark, figure, "n = 3 processes")
+    n5 = record_panel(benchmark, figure, "n = 5 processes")
+
+    for panel in (n3, n5):
+        indirect = panel["Indirect consensus"]
+        faulty = panel["(Faulty) Consensus"]
+        # Latency grows with throughput for both variants (queueing).
+        assert indirect[800.0] > indirect[100.0]
+        assert faulty[800.0] > faulty[100.0]
+        # The overhead of correctness is bounded: indirect is never
+        # more than 25% above the unsafe shortcut.
+        for x in (100.0, 400.0, 800.0):
+            assert indirect[x] <= faulty[x] * 1.25
+
+    # Larger groups are slower across the board (paper: n=5 curves sit
+    # far above n=3; our simulator reproduces the separation, with a
+    # smaller blow-up factor — see EXPERIMENTS.md).
+    assert n5["Indirect consensus"][800.0] > n3["Indirect consensus"][800.0] * 1.5
+    assert n5["Indirect consensus"][100.0] > n3["Indirect consensus"][100.0] * 1.5
+
+    # The indirect-vs-faulty gap grows with throughput at n=3
+    # (the paper's "overhead increases as the throughput increases").
+    gap_low = n3["Indirect consensus"][100.0] - n3["(Faulty) Consensus"][100.0]
+    gap_high = n3["Indirect consensus"][800.0] - n3["(Faulty) Consensus"][800.0]
+    assert gap_high > gap_low

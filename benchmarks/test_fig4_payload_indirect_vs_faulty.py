@@ -1,0 +1,42 @@
+"""Figure 4: latency vs payload at n=5 — indirect vs faulty consensus.
+
+Paper's claims: "the overhead ratio remains stable as the size of the
+messages varies"; at 10 msg/s the overhead is "negligible for all
+message sizes"; both variants' latency rises with payload because of
+data diffusion, not because of consensus (which only handles ids).
+"""
+
+from benchmarks.conftest import record_panel
+from repro.harness.figures import figure4
+
+
+def test_figure4_latency_vs_payload_n5(benchmark):
+    figure = benchmark.pedantic(figure4, kwargs={"quick": True}, rounds=1, iterations=1)
+
+    panels = {
+        rate: record_panel(benchmark, figure, f"{rate} msgs/s")
+        for rate in (10, 100, 400, 800)
+    }
+
+    # Negligible overhead at 10 msg/s: under 5% at every payload.
+    calm = panels[10]
+    for x in (1, 2500, 5000):
+        ratio = calm["Indirect consensus"][x] / calm["(Faulty) Consensus"][x]
+        assert 0.95 < ratio < 1.05
+
+    # Overhead ratio stays roughly stable across payloads at 400 msg/s
+    # (both algorithms order ids; payload only affects diffusion).
+    busy = panels[400]
+    ratios = [
+        busy["Indirect consensus"][x] / busy["(Faulty) Consensus"][x]
+        for x in (1, 2500, 5000)
+    ]
+    assert max(ratios) - min(ratios) < 0.25
+
+    # Latency rises with payload for both variants at every rate.
+    for rate, panel in panels.items():
+        for label in panel:
+            assert panel[label][5000] > panel[label][1]
+
+    # Higher throughput means higher latency at fixed payload.
+    assert panels[800]["Indirect consensus"][2500] > panels[10]["Indirect consensus"][2500]

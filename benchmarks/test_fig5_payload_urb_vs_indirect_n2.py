@@ -1,0 +1,32 @@
+"""Figure 5: indirect + RB O(n^2) vs URB + consensus on ids (Setup 2).
+
+Paper's claim: with an O(n^2)-message reliable broadcast, "indirect
+consensus and reliable broadcast achieve slightly lower latencies than
+consensus on message identifiers and uniform reliable broadcast" — a
+small but consistent edge attributed to URB's extra communication step.
+"""
+
+from benchmarks.conftest import record_panel
+from repro.harness.figures import figure5
+
+INDIRECT = "Indirect consensus w/ rbcast O(n^2)"
+URB = "Consensus w/ uniform rbcast"
+
+
+def test_figure5_urb_vs_indirect_flood_rb(benchmark):
+    figure = benchmark.pedantic(figure5, kwargs={"quick": True}, rounds=1, iterations=1)
+
+    for rate in (500, 1500, 2000):
+        panel = record_panel(benchmark, figure, f"{rate} msgs/s")
+        for x in (1, 1250, 2500):
+            # Indirect + RB wins...
+            assert panel[INDIRECT][x] < panel[URB][x]
+            # ...but only slightly (both ship O(n^2) data): within 35%.
+            assert panel[URB][x] < panel[INDIRECT][x] * 1.35
+
+    # Latency grows with payload and with throughput for both stacks.
+    calm = record_panel(benchmark, figure, "500 msgs/s")
+    busy = record_panel(benchmark, figure, "2000 msgs/s")
+    for label in (INDIRECT, URB):
+        assert calm[label][2500] > calm[label][1]
+        assert busy[label][1] > calm[label][1]

@@ -1,0 +1,27 @@
+"""Figure 6: indirect + RB O(n) vs URB + consensus on ids (Setup 2).
+
+Paper's claim: "if reliable broadcast only needs O(n) messages in good
+runs ..., the performance of indirect consensus is clearly better than
+if consensus and uniform reliable broadcast are used" — the gap is much
+wider than Figure 5's.
+"""
+
+from benchmarks.conftest import assert_dominates, record_panel
+from repro.harness.figures import figure6
+
+INDIRECT = "Indirect consensus w/ rbcast O(n)"
+URB = "Consensus w/ uniform rbcast"
+
+
+def test_figure6_urb_vs_indirect_sender_rb(benchmark):
+    figure = benchmark.pedantic(figure6, kwargs={"quick": True}, rounds=1, iterations=1)
+
+    gaps = {}
+    for rate in (500, 1500, 2000):
+        panel = record_panel(benchmark, figure, f"{rate} msgs/s")
+        # A clear win at every point: URB at least 25% slower.
+        assert_dominates(panel[URB], panel[INDIRECT], at=[1, 1250, 2500], margin=1.25)
+        gaps[rate] = panel[URB][2500] / panel[INDIRECT][2500]
+
+    # And the advantage holds (indeed tends to grow) under load.
+    assert gaps[2000] >= 1.25

@@ -1,0 +1,35 @@
+"""Figure 7: latency vs throughput (1 B payload, Setup 2), both RB variants.
+
+Paper's claims: atomic broadcast with URB "degrades significantly as the
+throughput increases"; indirect + RB O(n^2) "behaves similarly (although
+slightly better)"; indirect + RB O(n) "is much less affected by the
+throughput".
+"""
+
+from benchmarks.conftest import record_panel
+from repro.harness.figures import figure7
+
+IND_N2 = "Indirect consensus w/ rbcast O(n^2)"
+IND_N1 = "Indirect consensus w/ rbcast O(n)"
+URB = "Consensus w/ uniform rbcast"
+
+
+def test_figure7_latency_vs_throughput(benchmark):
+    figure = benchmark.pedantic(figure7, kwargs={"quick": True}, rounds=1, iterations=1)
+
+    flood_panel = record_panel(benchmark, figure, "RB in O(n^2) messages")
+    sender_panel = record_panel(benchmark, figure, "RB in O(n) messages")
+
+    # URB degrades significantly with throughput.
+    assert flood_panel[URB][2000.0] > flood_panel[URB][500.0] * 2
+
+    # Indirect + O(n^2) RB: similar shape, slightly better everywhere.
+    for x in (500.0, 1250.0, 2000.0):
+        assert flood_panel[IND_N2][x] < flood_panel[URB][x]
+
+    # Indirect + O(n) RB: clearly better and flatter.
+    for x in (500.0, 1250.0, 2000.0):
+        assert sender_panel[IND_N1][x] < sender_panel[URB][x] / 1.3
+    growth_urb = sender_panel[URB][2000.0] / sender_panel[URB][500.0]
+    growth_ind = sender_panel[IND_N1][2000.0] / sender_panel[IND_N1][500.0]
+    assert growth_ind < growth_urb

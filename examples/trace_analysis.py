@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Dissecting a run: rounds, batches, and wire traffic.
+
+Drives the indirect stack through three regimes — idle trickle, heavy
+load, and a coordinator crash — and uses :mod:`repro.analysis` to show
+what changed inside: consensus batch sizes grow with load, rounds stay
+at 1 until the crash forces rotations, and the data/control traffic
+split shifts with the broadcast algorithm.
+
+Run:  python examples/trace_analysis.py
+"""
+
+from repro import CrashSchedule, StackSpec, SymmetricWorkload, build_system, check_abcast
+from repro.analysis import batch_statistics, round_statistics, traffic_breakdown
+from repro.harness.report import render_table
+
+
+def run(label, throughput, rb="sender", crash=None):
+    spec = StackSpec(n=3, abcast="indirect", consensus="ct-indirect",
+                     rb=rb, seed=7, fd_detection_delay=20e-3)
+    crashes = CrashSchedule.single(*crash) if crash else CrashSchedule.none()
+    system = build_system(spec, crashes)
+    SymmetricWorkload(system, throughput=throughput, payload_size=200,
+                      duration=0.4).install()
+    system.run(until=3.0, max_events=5_000_000)
+    check_abcast(system.trace, system.config)
+
+    rounds = round_statistics(system)
+    batches = batch_statistics(system.trace)
+    traffic = traffic_breakdown(system.network)
+    sends = len(system.trace.abroadcasts())
+    return {
+        "regime": label,
+        "abcasts": sends,
+        "instances": batches.instances,
+        "msgs/instance": f"{batches.amortisation:.2f}",
+        "round-1 decisions": f"{rounds.first_round_fraction * 100:.0f}%",
+        "max decision round": int(rounds.decision_rounds.maximum),
+        "data frames/bcast": f"{traffic.frames_per_broadcast(sends):.1f}",
+        "control share": f"{traffic.control_share() * 100:.0f}%",
+    }
+
+
+def main() -> None:
+    rows = [
+        run("trickle, RB O(n)", throughput=50),
+        run("heavy load, RB O(n)", throughput=1500),
+        run("heavy load, RB O(n^2)", throughput=1500, rb="flood"),
+        run("crash of p2, RB O(n)", throughput=200, crash=(2, 0.1)),
+    ]
+    print(render_table(rows, title="Anatomy of four runs (n=3, indirect stack)"))
+    print(
+        "\nReading guide: batching (msgs/instance) rises with load;\n"
+        "the flood RB triples data frames per broadcast (n-1 -> n(n-1));\n"
+        "only the crash run needs decisions beyond round 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

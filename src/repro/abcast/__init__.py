@@ -1,0 +1,41 @@
+"""Atomic broadcast: the reduction to consensus, in four flavours.
+
+All four variants share the reduction skeleton of Algorithm 1 (a
+sequence of consensus executions on batches of not-yet-ordered
+messages); they differ in *what travels through consensus* and in the
+diffusion layer underneath:
+
+* :class:`~repro.abcast.on_messages.OnMessagesAtomicBroadcast` — the
+  classical reduction of [2]: consensus on sets of **full messages**
+  (reliable broadcast underneath).  Correct, but consensus traffic grows
+  with the payload — the baseline of Figure 1.
+* :class:`~repro.abcast.faulty_ids.FaultyIdsAtomicBroadcast` — the
+  *incorrect* shortcut the paper warns about (Section 2.2): reliable
+  broadcast plus an **unmodified** consensus algorithm run directly on
+  message identifiers.  Fast, and fine while nobody crashes — but a
+  crash can strand decided identifiers whose messages no correct process
+  holds, violating Validity/Uniform agreement of atomic broadcast.  The
+  scenario tests demonstrate the violation; Figures 3 and 4 use it as
+  the performance baseline.
+* :class:`~repro.abcast.indirect.IndirectAtomicBroadcast` — Algorithm 1:
+  reliable broadcast plus **indirect consensus** (Algorithm 2 or 3).
+  Correct, and nearly as fast as the faulty shortcut.
+* :class:`~repro.abcast.urb_ids.UrbIdsAtomicBroadcast` — the correct
+  alternative of Section 4.4: **uniform** reliable broadcast plus
+  unmodified consensus on identifiers.  Correct, but pays URB's extra
+  communication step and O(n^2) messages — Figures 5-7.
+"""
+
+from repro.abcast.base import AtomicBroadcast
+from repro.abcast.faulty_ids import FaultyIdsAtomicBroadcast
+from repro.abcast.indirect import IndirectAtomicBroadcast
+from repro.abcast.on_messages import OnMessagesAtomicBroadcast
+from repro.abcast.urb_ids import UrbIdsAtomicBroadcast
+
+__all__ = [
+    "AtomicBroadcast",
+    "FaultyIdsAtomicBroadcast",
+    "IndirectAtomicBroadcast",
+    "OnMessagesAtomicBroadcast",
+    "UrbIdsAtomicBroadcast",
+]

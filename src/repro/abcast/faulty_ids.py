@@ -1,0 +1,64 @@
+"""The *faulty* shortcut: unmodified consensus directly on identifiers.
+
+This is the stack the paper warns against in Section 2.2 — and the one
+"previous group communication stack implementations" shipped: reliable
+broadcast for diffusion plus an **unmodified** consensus algorithm
+(original Chandra-Toueg or Mostefaoui-Raynal) run on message identifier
+sets, with no ``rcv`` gating anywhere.
+
+While no process crashes this behaves exactly like the indirect stack
+minus the rcv() bookkeeping, which is why the paper uses it as the
+performance baseline of Figures 3 and 4 (the measured gap *is* the price
+of correctness).
+
+When a process does crash, the failure mode of Section 2.2 opens up: a
+process p can rbroadcast ``m``, drive consensus to decide ``id(m)``, and
+crash before any copy of ``m`` leaves its machine.  The decided
+identifier cannot be removed from the total order (that would break
+Uniform total order), so every correct process blocks at the adeliver
+gate forever — Validity and Uniform agreement of atomic broadcast are
+violated.  ``tests/scenarios/test_validity_violation.py`` reproduces
+this execution deterministically, and the same run under
+:class:`~repro.abcast.indirect.IndirectAtomicBroadcast` delivers
+everything.
+"""
+
+from __future__ import annotations
+
+from repro.abcast.base import AtomicBroadcast
+from repro.broadcast.base import BroadcastService
+from repro.consensus.base import ConsensusService
+from repro.core.config import SystemConfig
+from repro.core.exceptions import ConfigurationError
+from repro.net.transport import Transport
+
+
+class FaultyIdsAtomicBroadcast(AtomicBroadcast):
+    """Reliable broadcast + unmodified consensus on ids (UNSAFE).
+
+    Kept in the library on purpose: it is a *published baseline* of the
+    paper, and having it run against the same checkers is the clearest
+    demonstration of why indirect consensus exists.  Do not use it for
+    anything but experiments; the class name and docstring are the
+    warning label.
+    """
+
+    NAME = "abcast-faulty-ids"
+
+    def __init__(
+        self,
+        transport: Transport,
+        broadcast: BroadcastService,
+        consensus: ConsensusService,
+        config: SystemConfig,
+        batch_cap: int | None = None,
+    ) -> None:
+        if consensus.NAME not in ("chandra-toueg", "mostefaoui-raynal"):
+            raise ConfigurationError(
+                "FaultyIdsAtomicBroadcast reproduces the unsafe stack and "
+                f"needs an *original* consensus algorithm, got {consensus.NAME!r}"
+            )
+        super().__init__(transport, broadcast, consensus, config, batch_cap=batch_cap)
+
+    # No _rcv_function override: the original algorithms never consult
+    # rcv, which is precisely the bug being reproduced.

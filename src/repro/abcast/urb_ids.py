@@ -1,0 +1,52 @@
+"""The correct-but-slower alternative: uniform reliable broadcast +
+unmodified consensus on identifiers (Section 4.4 of the paper).
+
+Replacing reliable broadcast with *uniform* reliable broadcast fixes the
+Section 2.2 failure mode without touching the consensus algorithm:
+consensus only ever runs on identifiers of messages that have been
+**urb-delivered** at the proposer, and uniformity guarantees that any
+urb-delivered message is (eventually) delivered by all correct
+processes, so decided identifiers can never be stranded.
+
+The price is URB's second communication step and O(n^2) message
+complexity on the *data path*, paid by every message — whether or not
+anybody crashes.  Figures 5-7 of the paper measure exactly this price
+against the indirect-consensus stack; the gap widens when reliable
+broadcast only needs O(n) messages (Figure 6).
+"""
+
+from __future__ import annotations
+
+from repro.abcast.base import AtomicBroadcast
+from repro.broadcast.base import BroadcastService
+from repro.consensus.base import ConsensusService
+from repro.core.config import SystemConfig
+from repro.core.exceptions import ConfigurationError
+from repro.net.transport import Transport
+
+
+class UrbIdsAtomicBroadcast(AtomicBroadcast):
+    """Uniform reliable broadcast + unmodified consensus on ids (correct)."""
+
+    NAME = "abcast-urb-ids"
+
+    def __init__(
+        self,
+        transport: Transport,
+        broadcast: BroadcastService,
+        consensus: ConsensusService,
+        config: SystemConfig,
+        batch_cap: int | None = None,
+    ) -> None:
+        if not broadcast.uniform:
+            raise ConfigurationError(
+                "UrbIdsAtomicBroadcast requires a *uniform* reliable "
+                "broadcast underneath; its correctness argument rests on "
+                "uniformity (Section 4.4 of the paper)"
+            )
+        if consensus.NAME not in ("chandra-toueg", "mostefaoui-raynal"):
+            raise ConfigurationError(
+                "UrbIdsAtomicBroadcast runs an *original* consensus "
+                f"algorithm on identifiers, got {consensus.NAME!r}"
+            )
+        super().__init__(transport, broadcast, consensus, config, batch_cap=batch_cap)

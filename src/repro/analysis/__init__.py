@@ -1,0 +1,27 @@
+"""Post-run trace analysis.
+
+Tools for understanding *why* a run performed the way it did:
+
+* :func:`~repro.analysis.rounds.round_statistics` — how many rounds each
+  consensus instance needed (1 in good runs; more under crashes,
+  suspicions, or rcv-gated nacks).
+* :func:`~repro.analysis.batches.batch_statistics` — how many messages
+  each consensus execution ordered (the amortisation behind the
+  latency/throughput curves).
+* :func:`~repro.analysis.traffic.traffic_breakdown` — frames and bytes
+  per protocol layer, data vs control (the O(n) / O(n^2) stories of
+  Figures 5-7 in numbers).
+"""
+
+from repro.analysis.batches import BatchStatistics, batch_statistics
+from repro.analysis.rounds import RoundStatistics, round_statistics
+from repro.analysis.traffic import TrafficBreakdown, traffic_breakdown
+
+__all__ = [
+    "BatchStatistics",
+    "RoundStatistics",
+    "TrafficBreakdown",
+    "batch_statistics",
+    "round_statistics",
+    "traffic_breakdown",
+]

@@ -1,0 +1,32 @@
+"""Broadcast substrate: reliable and uniform reliable broadcast.
+
+Three algorithms, matching the three diffusion layers the paper
+measures:
+
+* :class:`~repro.broadcast.flood.FloodReliableBroadcast` — the classical
+  "relay on first receipt" reliable broadcast of Chandra & Toueg, using
+  **O(n^2)** messages per broadcast (Figures 5 and 7a).
+* :class:`~repro.broadcast.sender.SenderReliableBroadcast` — a failure-
+  detector-based reliable broadcast that uses **O(n)** messages in good
+  runs and relays only when the origin is suspected (Figures 6 and 7b).
+* :class:`~repro.broadcast.uniform.UniformReliableBroadcast` — the
+  majority-ack uniform reliable broadcast (2 communication steps,
+  O(n^2) messages, f < n/2), the diffusion layer of the paper's
+  *correct-but-slower* alternative to indirect consensus (Section 4.4).
+
+All three deliver each message at most once, record
+``RBroadcastEvent`` / ``RDeliverEvent`` trace records, and satisfy the
+formal properties checked by :mod:`repro.checkers.broadcast`.
+"""
+
+from repro.broadcast.base import BroadcastService
+from repro.broadcast.flood import FloodReliableBroadcast
+from repro.broadcast.sender import SenderReliableBroadcast
+from repro.broadcast.uniform import UniformReliableBroadcast
+
+__all__ = [
+    "BroadcastService",
+    "FloodReliableBroadcast",
+    "SenderReliableBroadcast",
+    "UniformReliableBroadcast",
+]

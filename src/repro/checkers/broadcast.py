@@ -1,0 +1,110 @@
+"""Checkers for reliable and uniform reliable broadcast.
+
+Properties (Section 2.1 of the paper, after [5]):
+
+* **Validity** — if a correct process rbroadcasts ``m``, it eventually
+  rdelivers ``m``.
+* **Uniform integrity** — every process rdelivers ``m`` at most once,
+  and only if ``m`` was previously rbroadcast.
+* **Agreement** — if a *correct* process rdelivers ``m``, all correct
+  processes eventually rdeliver ``m``.
+* **Uniform agreement** (URB only) — if *any* process (correct or not)
+  urb-delivers ``m``, all correct processes eventually urb-deliver ``m``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.config import SystemConfig
+from repro.core.exceptions import ProtocolViolationError
+from repro.sim.trace import Trace
+
+
+class BroadcastChecker:
+    """Evaluates the broadcast properties on a quiescent trace."""
+
+    def __init__(self, trace: Trace, config: SystemConfig) -> None:
+        self.trace = trace
+        self.config = config
+        self.correct = trace.correct_processes(config.processes)
+        self._broadcast_ids = {e.message.mid for e in trace.rbroadcasts()}
+        self._broadcasters = {
+            e.message.mid: (e.process, e.time) for e in trace.rbroadcasts()
+        }
+        self._delivered_by: dict[int, list] = {
+            p: trace.rdeliveries(p) for p in config.processes
+        }
+
+    def check_validity(self) -> None:
+        """A correct broadcaster delivers its own message."""
+        for mid, (sender, _time) in self._broadcasters.items():
+            if sender not in self.correct:
+                continue
+            delivered = {e.message.mid for e in self._delivered_by[sender]}
+            if mid not in delivered:
+                raise ProtocolViolationError(
+                    "RB Validity",
+                    f"correct p{sender} rbroadcast {mid} but never rdelivered it",
+                )
+
+    def check_uniform_integrity(self) -> None:
+        """At most one delivery per message per process; no spurious messages."""
+        for process, deliveries in self._delivered_by.items():
+            counts = Counter(e.message.mid for e in deliveries)
+            for mid, count in counts.items():
+                if count > 1:
+                    raise ProtocolViolationError(
+                        "RB Uniform integrity",
+                        f"p{process} rdelivered {mid} {count} times",
+                    )
+                if mid not in self._broadcast_ids:
+                    raise ProtocolViolationError(
+                        "RB Uniform integrity",
+                        f"p{process} rdelivered {mid} which was never rbroadcast",
+                    )
+
+    def check_agreement(self) -> None:
+        """Correct processes deliver the same set of messages."""
+        delivered_by_correct = {
+            p: {e.message.mid for e in self._delivered_by[p]} for p in self.correct
+        }
+        union = set().union(*delivered_by_correct.values()) if delivered_by_correct else set()
+        for process, delivered in delivered_by_correct.items():
+            missing = union - delivered
+            if missing:
+                sample = sorted(missing)[:3]
+                raise ProtocolViolationError(
+                    "RB Agreement",
+                    f"correct p{process} missed {len(missing)} messages "
+                    f"delivered by other correct processes, e.g. {sample}",
+                )
+
+    def check_uniform_agreement(self) -> None:
+        """If *anyone* delivered ``m``, every correct process did (URB)."""
+        delivered_by_anyone = {
+            e.message.mid for e in self.trace.rdeliveries() if e.uniform
+        }
+        for process in self.correct:
+            delivered = {e.message.mid for e in self._delivered_by[process]}
+            missing = delivered_by_anyone - delivered
+            if missing:
+                sample = sorted(missing)[:3]
+                raise ProtocolViolationError(
+                    "URB Uniform agreement",
+                    f"correct p{process} missed {len(missing)} urb-delivered "
+                    f"messages, e.g. {sample}",
+                )
+
+    def check_all(self, uniform: bool = False) -> None:
+        """Run every applicable check."""
+        self.check_validity()
+        self.check_uniform_integrity()
+        self.check_agreement()
+        if uniform:
+            self.check_uniform_agreement()
+
+
+def check_broadcast(trace: Trace, config: SystemConfig, uniform: bool = False) -> None:
+    """Convenience wrapper: run all broadcast checks on ``trace``."""
+    BroadcastChecker(trace, config).check_all(uniform=uniform)

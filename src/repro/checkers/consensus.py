@@ -1,0 +1,125 @@
+"""Checkers for (indirect) consensus.
+
+Properties (Section 2.3 of the paper):
+
+* **Termination** — every correct process that proposed eventually
+  decides (checked on quiescent traces, per instance).
+* **Uniform integrity** — every process decides at most once per instance.
+* **Uniform agreement** — no two processes decide differently.
+* **Uniform validity** — a decided value was proposed by some process.
+* **No loss** (indirect consensus only) — if a process decides ``v`` at
+  time ``t``, one *correct* process had received ``msgs(v)`` at ``t``.
+* **v-stability** (the stronger structural obligation of Section 3.1) —
+  at the first decision time, ``f + 1`` processes (crashed ones
+  excluded) held ``msgs(v)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.config import SystemConfig
+from repro.core.exceptions import ProtocolViolationError
+from repro.sim.trace import Trace
+
+
+class ConsensusChecker:
+    """Evaluates the consensus properties on a quiescent trace."""
+
+    def __init__(self, trace: Trace, config: SystemConfig) -> None:
+        self.trace = trace
+        self.config = config
+        self.correct = trace.correct_processes(config.processes)
+
+    def check_uniform_integrity(self, instance: int) -> None:
+        counts = Counter(e.process for e in self.trace.decides(instance))
+        for process, count in counts.items():
+            if count > 1:
+                raise ProtocolViolationError(
+                    "Consensus Uniform integrity",
+                    f"p{process} decided instance {instance} {count} times",
+                )
+
+    def check_uniform_agreement(self, instance: int) -> None:
+        decisions = {e.value for e in self.trace.decides(instance)}
+        if len(decisions) > 1:
+            raise ProtocolViolationError(
+                "Consensus Uniform agreement",
+                f"instance {instance} decided {len(decisions)} different "
+                f"values: {sorted(map(sorted, decisions))}",
+            )
+
+    def check_uniform_validity(self, instance: int) -> None:
+        proposals = {e.value for e in self.trace.proposals(instance)}
+        for event in self.trace.decides(instance):
+            if event.value not in proposals:
+                raise ProtocolViolationError(
+                    "Consensus Uniform validity",
+                    f"instance {instance} decided {sorted(event.value)} "
+                    f"which no process proposed",
+                )
+
+    def check_termination(self, instance: int) -> None:
+        """Every correct proposer of ``instance`` decided (quiescent trace)."""
+        proposers = {e.process for e in self.trace.proposals(instance)}
+        deciders = {e.process for e in self.trace.decides(instance)}
+        for process in proposers & self.correct:
+            if process not in deciders:
+                raise ProtocolViolationError(
+                    "Consensus Termination",
+                    f"correct p{process} proposed in instance {instance} "
+                    f"but never decided",
+                )
+
+    def check_no_loss(self, instance: int) -> None:
+        """One *correct* process held ``msgs(v)`` at the first decision time."""
+        first = self.trace.first_decision(instance)
+        if first is None:
+            return
+        holders = self.trace.holders_at(first.value, first.time)
+        if not holders & self.correct:
+            raise ProtocolViolationError(
+                "No loss",
+                f"instance {instance} decided {sorted(first.value)} at "
+                f"t={first.time:.6f} but no correct process held the "
+                f"messages (holders: {sorted(holders)})",
+            )
+
+    def check_v_stability(self, instance: int) -> None:
+        """``f + 1`` live processes held ``msgs(v)`` at first decision time."""
+        first = self.trace.first_decision(instance)
+        if first is None:
+            return
+        holders = self.trace.holders_at(first.value, first.time)
+        needed = self.config.stability_threshold()
+        if len(holders) < needed:
+            raise ProtocolViolationError(
+                "v-stability",
+                f"instance {instance}: only {len(holders)} processes held "
+                f"msgs(v) at decision time t={first.time:.6f}, "
+                f"need f+1={needed}",
+            )
+
+    def check_all(self, no_loss: bool = False, v_stability: bool = False) -> None:
+        """Run every applicable check on every decided instance."""
+        for instance in self.trace.instances():
+            self.check_uniform_integrity(instance)
+            self.check_uniform_agreement(instance)
+            self.check_uniform_validity(instance)
+            self.check_termination(instance)
+            if no_loss:
+                self.check_no_loss(instance)
+            if v_stability:
+                self.check_v_stability(instance)
+
+
+def check_consensus(
+    trace: Trace,
+    config: SystemConfig,
+    no_loss: bool = False,
+    v_stability: bool = False,
+) -> None:
+    """Convenience wrapper: run all consensus checks on ``trace``."""
+    ConsensusChecker(trace, config).check_all(
+        no_loss=no_loss, v_stability=v_stability
+    )

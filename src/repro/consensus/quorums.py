@@ -1,0 +1,65 @@
+"""Quorum-intersection arithmetic (Figure 2 of the paper).
+
+The resilience drop of the indirect Mostefaoui-Raynal algorithm comes
+from one inequality.  Each process waits for ``n - f`` Phase-2 echoes;
+any two processes therefore share at least ``n - 2f`` of them
+(Figure 2 illustrates ``n = 7, f = 2``: two sets of five echoes out of
+seven always share at least three).  For Uniform agreement *and* No loss
+to coexist, every process must see a value accepted by at least one
+correct holder of ``msgs(v)``, i.e. the guaranteed intersection must
+reach ``f + 1``::
+
+    n - 2f >= f + 1   <=>   f < n / 3
+
+These helpers make that arithmetic executable so tests (including
+hypothesis property tests) can check it for every ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.exceptions import ConfigurationError
+
+
+def phase2_quorum(n: int) -> int:
+    """Echoes the indirect MR algorithm waits for: ``⌈(2n+1)/3⌉``."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    return math.ceil((2 * n + 1) / 3)
+
+
+def adoption_threshold(n: int) -> int:
+    """Copies of ``v`` that force adoption: ``⌈(n+1)/3⌉`` (Alg. 3 l.28)."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    return math.ceil((n + 1) / 3)
+
+
+def intersection_lower_bound(n: int, f: int, quorum: int | None = None) -> int:
+    """Minimum overlap of two quorums of size ``quorum`` out of ``n``.
+
+    With the default ``quorum = n - f`` this is the ``n - 2f`` of
+    Figure 2: two subsets of size ``n - f`` drawn from ``n`` elements
+    share at least ``2(n - f) - n = n - 2f`` elements (never negative).
+    """
+    if quorum is None:
+        quorum = n - f
+    if not 0 <= f < n:
+        raise ConfigurationError(f"need 0 <= f < n, got f={f}, n={n}")
+    if not 0 < quorum <= n:
+        raise ConfigurationError(f"need 0 < quorum <= n, got {quorum}")
+    return max(0, 2 * quorum - n)
+
+
+def max_resilience_for_intersection(n: int) -> int:
+    """Largest ``f`` with ``n - 2f >= f + 1``, i.e. ``⌈n/3⌉ - 1``.
+
+    This is the resilience of the indirect MR algorithm: the largest
+    number of crashes under which every pair of (n-f)-quorums still
+    overlaps in ``f + 1`` processes, enough to guarantee that adopted
+    values are held by at least one correct process.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    return (n - 1) // 3

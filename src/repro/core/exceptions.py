@@ -1,0 +1,41 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or stack was configured inconsistently.
+
+    Examples: a negative payload size, an unknown algorithm name, or a
+    network preset with a zero-rate link.
+    """
+
+
+class ResilienceExceededError(ConfigurationError):
+    """More crashes were scheduled than the algorithm tolerates.
+
+    Raised *eagerly at configuration time* when a scenario declares more
+    faulty processes than the selected consensus algorithm's resilience
+    bound (``f < n/2`` for Chandra-Toueg and its indirect adaptation,
+    ``f < n/3`` for the indirect Mostefaoui-Raynal algorithm).  Scenario
+    tests that deliberately exceed the bound construct stacks with
+    ``enforce_resilience=False``.
+    """
+
+
+class ProtocolViolationError(ReproError):
+    """A trace checker found a violation of a formal property.
+
+    The message names the property (e.g. ``Uniform Total Order`` or
+    ``No loss``) and includes the offending events, so that a failing
+    property-based test prints a usable counterexample.
+    """
+
+    def __init__(self, prop: str, detail: str) -> None:
+        self.prop = prop
+        self.detail = detail
+        super().__init__(f"{prop} violated: {detail}")

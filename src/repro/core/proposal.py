@@ -1,0 +1,49 @@
+"""Indirect-consensus proposals.
+
+A proposal is the pair ``(v, rcv)`` of Section 2.3: ``v`` is a set of
+message identifiers and ``rcv`` is the predicate with which the consensus
+algorithm can test, at any point, whether the local process currently
+holds ``msgs(v')`` for any candidate value ``v'``.
+
+The value ``v`` itself is a frozen set of :class:`~repro.core.identifiers.
+MessageId`; its wire size is ``|v|`` times the constant identifier size,
+independent of the application payloads — the decoupling the paper is
+about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.identifiers import MessageId, id_set_wire_size, order_id_set
+from repro.core.rcv import RcvFunction
+
+
+@dataclass(frozen=True)
+class IndirectProposal:
+    """The pair ``(v, rcv)`` handed to ``propose`` in indirect consensus.
+
+    Attributes:
+        value: The set ``v`` of message identifiers to order.
+        rcv: The receive predicate; ``rcv(v')`` must return true only if
+            the proposing process has received ``msgs(v')``.
+    """
+
+    value: frozenset[MessageId]
+    rcv: RcvFunction = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, frozenset):
+            object.__setattr__(self, "value", frozenset(self.value))
+
+    def wire_size(self) -> int:
+        """Serialized size of the *value* (the rcv function never travels)."""
+        return id_set_wire_size(self.value)
+
+    def ordered(self) -> tuple[MessageId, ...]:
+        """The value in the canonical deterministic delivery order."""
+        return order_id_set(self.value)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ids = ",".join(str(m) for m in self.ordered())
+        return f"IndirectProposal({{{ids}}})"

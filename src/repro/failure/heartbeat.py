@@ -1,0 +1,104 @@
+"""Heartbeat-based failure detector.
+
+Every process broadcasts a small heartbeat frame every ``interval``
+seconds; an observer suspects a peer when no heartbeat has arrived for
+``timeout`` seconds, and retracts the suspicion (raising the peer's
+timeout by ``backoff``) when a late heartbeat shows up.  The adaptive
+timeout is the classical way a heartbeat detector converges to eventual
+accuracy in a partially synchronous system: after finitely many
+mistakes, the timeout exceeds the real (bounded-but-unknown) delays and
+the detector stops suspecting correct processes — exactly the ◇S
+contract the paper's algorithms assume.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.identifiers import ProcessId
+from repro.failure.detector import FailureDetector
+from repro.net.frame import Frame
+from repro.net.transport import Transport
+
+#: Wire size of one heartbeat frame body (sender id + sequence number).
+HEARTBEAT_SIZE = 8
+
+
+class HeartbeatFailureDetector(FailureDetector):
+    """◇S-style heartbeat detector over the simulated network.
+
+    Args:
+        transport: This process's transport endpoint.
+        interval: Heartbeat emission period.
+        timeout: Initial silence threshold before suspecting a peer.
+            Must exceed ``interval`` or the detector would suspect
+            everybody between consecutive heartbeats.
+        backoff: Added to a peer's timeout on every retracted mistake.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        interval: float = 20e-3,
+        timeout: float = 100e-3,
+        backoff: float = 50e-3,
+    ) -> None:
+        super().__init__(transport.process)
+        if interval <= 0:
+            raise ConfigurationError("heartbeat interval must be > 0")
+        if timeout <= interval:
+            raise ConfigurationError("timeout must exceed the heartbeat interval")
+        self.transport = transport
+        self.interval = interval
+        self.backoff = backoff
+        self._seq = 0
+        self._last_heard: dict[ProcessId, float] = {}
+        self._timeouts: dict[ProcessId, float] = {
+            q: timeout for q in transport.peers if q != transport.pid
+        }
+        transport.register("fd.heartbeat", self._on_heartbeat)
+        now = self.process.engine.now
+        for q in self._timeouts:
+            self._last_heard[q] = now
+        self.process.schedule(0.0, self._emit)
+        self.process.schedule(self._min_timeout(), self._check)
+
+    def _min_timeout(self) -> float:
+        return min(self._timeouts.values(), default=self.interval)
+
+    def _emit(self) -> None:
+        self._seq += 1
+        self.transport.send_all(
+            "fd.heartbeat",
+            body=(self.transport.pid, self._seq),
+            size=HEARTBEAT_SIZE,
+            include_self=False,
+        )
+        self.process.schedule(self.interval, self._emit)
+
+    def _on_heartbeat(self, frame: Frame) -> None:
+        sender = frame.src
+        self._last_heard[sender] = self.process.engine.now
+        if self.is_suspected(sender):
+            # A mistake: the peer is alive.  Retract and back off.
+            self._timeouts[sender] = self._timeouts.get(sender, 0.0) + self.backoff
+            self._trust(sender)
+
+    def _check(self) -> None:
+        now = self.process.engine.now
+        for q, last in self._last_heard.items():
+            if not self.is_suspected(q) and now - last > self._timeouts[q]:
+                self._suspect(q)
+        self.process.schedule(self.interval, self._check)
+
+
+def wire_heartbeat_detectors(
+    transports: dict[ProcessId, Transport],
+    interval: float = 20e-3,
+    timeout: float = 100e-3,
+    backoff: float = 50e-3,
+) -> dict[ProcessId, HeartbeatFailureDetector]:
+    """Create one heartbeat detector per transport."""
+    return {
+        pid: HeartbeatFailureDetector(t, interval, timeout, backoff)
+        for pid, t in transports.items()
+    }

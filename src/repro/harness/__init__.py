@@ -1,0 +1,54 @@
+"""Experiment harness: regenerate every figure of the paper.
+
+* :mod:`repro.harness.experiment` — one experiment = one simulated run
+  (stack spec + workload + measurement window) producing a latency
+  report and diagnostics.
+* :mod:`repro.harness.figures` — the per-figure experiment definitions:
+  ``figure1()`` .. ``figure7()`` return the same series the paper plots
+  (latency vs payload / throughput, per variant), in *quick* or *full*
+  resolution.
+* :mod:`repro.harness.report` — ASCII rendering of figure data and the
+  shape assertions that EXPERIMENTS.md records.
+
+Command line::
+
+    python -m repro.harness --figure 3          # quick resolution
+    python -m repro.harness --figure all --full # full sweep
+"""
+
+from repro.harness.experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+)
+from repro.harness.figures import (
+    FigureData,
+    Series,
+    all_figures,
+    figure1,
+    figure2_table,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.harness.report import render_figure, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FigureData",
+    "Series",
+    "all_figures",
+    "figure1",
+    "figure2_table",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "render_figure",
+    "render_table",
+    "run_experiment",
+]

@@ -1,0 +1,80 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.harness --figure 3            # quick resolution
+    python -m repro.harness --figure all --full   # the paper's full grid
+    python -m repro.harness --figure 2            # the Figure-2 quorum table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import figures as figmod
+from repro.harness.report import render_figure, render_table
+
+_FIGURES = {
+    "1": figmod.figure1,
+    "3": figmod.figure3,
+    "4": figmod.figure4,
+    "5": figmod.figure5,
+    "6": figmod.figure6,
+    "7": figmod.figure7,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate figures from Ekwall & Schiper (DSN 2006).",
+    )
+    parser.add_argument(
+        "--figure",
+        default="all",
+        help="figure number (1,2,3,4,5,6,7) or 'all'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the paper's full sweep grid (slower, tighter statistics)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render ASCII charts of the curves",
+    )
+    args = parser.parse_args(argv)
+
+    quick = not args.full
+    started = time.perf_counter()
+    if args.figure == "2":
+        print(render_table(figmod.figure2_table(), title="Figure 2 arithmetic"))
+        return 0
+    def show(figure_data) -> None:
+        print(render_figure(figure_data))
+        if args.chart:
+            from repro.harness.charts import render_figure_charts
+
+            print()
+            print(render_figure_charts(figure_data))
+
+    if args.figure == "all":
+        print(render_table(figmod.figure2_table(), title="Figure 2 arithmetic"))
+        print()
+        for build in _FIGURES.values():
+            show(build(quick))
+            print()
+    else:
+        build = _FIGURES.get(args.figure)
+        if build is None:
+            parser.error(f"unknown figure {args.figure!r}")
+        show(build(quick))
+    print(f"[done in {time.perf_counter() - started:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

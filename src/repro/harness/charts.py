@@ -1,0 +1,74 @@
+"""ASCII chart rendering for reproduced figures.
+
+Terminal-friendly scatter/line charts so `python -m repro.harness` can
+show curve *shapes* directly, next to the numeric tables — the closest
+offline equivalent of the paper's gnuplot figures.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import FigureData, Series
+
+#: Glyphs assigned to series in order (paper figures have <= 3 lines).
+GLYPHS = "*o+x#@"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, round(position * (cells - 1))))
+
+
+def render_chart(
+    series_list: list[Series],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Render series as an ASCII chart (x: parameter, y: latency ms).
+
+    Points from different series that land on the same cell are drawn
+    with the glyph of the *first* series (they are that close anyway).
+    """
+    points = [(x, y) for s in series_list for x, y in s.points]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(series_list):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        for x, y in series.points:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            if grid[row][col] == " ":
+                grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g} ms"
+    lines.append(top_label)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_lo:g}" + f"{x_hi:g}".rjust(width - len(f"{x_lo:g}")))
+    for index, series in enumerate(series_list):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        lines.append(f"  {glyph} = {series.label}")
+    return "\n".join(lines)
+
+
+def render_figure_charts(figure: FigureData, width: int = 64, height: int = 16) -> str:
+    """Render every panel of ``figure`` as an ASCII chart."""
+    blocks = [f"== {figure.fig_id}: {figure.title} =="]
+    for panel, series in figure.panels.items():
+        blocks.append("")
+        blocks.append(
+            render_chart(series, width=width, height=height, title=f"-- {panel} --")
+        )
+    return "\n".join(blocks)

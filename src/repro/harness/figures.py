@@ -1,0 +1,295 @@
+"""Per-figure experiment definitions.
+
+Each ``figureN()`` function reproduces the corresponding figure of the
+paper's evaluation: it runs the same variants over the same parameter
+sweeps (payload sizes, throughputs, group sizes, network setups) and
+returns the latency series the paper plots.
+
+Two resolutions:
+
+* ``quick=True`` (default) — 3 points per sweep, short measurement
+  windows; minutes for the whole set.  This is what the pytest
+  benchmarks run.
+* ``quick=False`` — the paper's full sweep grid with longer windows;
+  what ``python -m repro.harness --full`` uses to regenerate
+  EXPERIMENTS.md numbers.
+
+The variant labels match the figure legends in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consensus.quorums import (
+    adoption_threshold,
+    intersection_lower_bound,
+    max_resilience_for_intersection,
+    phase2_quorum,
+)
+from repro.harness.experiment import ExperimentResult, ExperimentSpec, run_experiment
+from repro.net.models import NetworkParams
+from repro.net.setups import SETUP_1, SETUP_2
+from repro.stack.builder import StackSpec
+
+
+@dataclass
+class Series:
+    """One plotted line: (x, mean latency ms) points plus raw results."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+    results: list[ExperimentResult] = field(default_factory=list)
+
+    def add(self, x: float, result: ExperimentResult) -> None:
+        self.points.append((x, result.mean_latency_ms))
+        self.results.append(result)
+
+
+@dataclass
+class FigureData:
+    """A reproduced figure: one or more panels of series."""
+
+    fig_id: str
+    title: str
+    xlabel: str
+    panels: dict[str, list[Series]] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Variant -> StackSpec factories (labels as in the paper's legends)
+# ----------------------------------------------------------------------
+
+
+def _stack(variant: str, n: int, params: NetworkParams, seed: int) -> StackSpec:
+    # Figures 1, 3 and 4 use the O(n) reliable broadcast for diffusion:
+    # at their offered loads (up to 800 msg/s x 5000 B on 100 Mb/s
+    # Ethernet) an O(n^2) flood would exceed the wire capacity outright,
+    # which the paper's measured latencies show the authors did not pay.
+    table = {
+        "Consensus": dict(abcast="on-messages", consensus="ct", rb="sender"),
+        "(Faulty) Consensus": dict(abcast="faulty-ids", consensus="ct", rb="sender"),
+        "Indirect consensus": dict(
+            abcast="indirect", consensus="ct-indirect", rb="sender"
+        ),
+        "Indirect consensus w/ rbcast O(n^2)": dict(
+            abcast="indirect", consensus="ct-indirect", rb="flood"
+        ),
+        "Indirect consensus w/ rbcast O(n)": dict(
+            abcast="indirect", consensus="ct-indirect", rb="sender"
+        ),
+        "Consensus w/ uniform rbcast": dict(
+            abcast="urb-ids", consensus="ct", rb="flood"
+        ),
+    }
+    kwargs = table[variant]
+    return StackSpec(n=n, params=params, network="contention", fd="oracle",
+                     seed=seed, **kwargs)
+
+
+def _measure(
+    variant: str,
+    n: int,
+    params: NetworkParams,
+    throughput: float,
+    payload: int,
+    quick: bool,
+    seed: int = 0,
+) -> ExperimentResult:
+    target_messages = 120 if quick else 600
+    duration = 0.1 + target_messages / throughput
+    spec = ExperimentSpec(
+        name=f"{variant} n={n} {throughput}msg/s {payload}B",
+        stack=_stack(variant, n, params, seed),
+        throughput=throughput,
+        payload=payload,
+        duration=duration,
+        warmup=0.1,
+        drain=0.5 if quick else 1.0,
+    )
+    return run_experiment(spec)
+
+
+def _payload_panel(
+    variants: list[str],
+    n: int,
+    params: NetworkParams,
+    throughput: float,
+    payloads: list[int],
+    quick: bool,
+) -> list[Series]:
+    series = []
+    for variant in variants:
+        s = Series(label=variant)
+        for payload in payloads:
+            s.add(payload, _measure(variant, n, params, throughput, payload, quick))
+        series.append(s)
+    return series
+
+
+def _throughput_panel(
+    variants: list[str],
+    n: int,
+    params: NetworkParams,
+    throughputs: list[float],
+    payload: int,
+    quick: bool,
+) -> list[Series]:
+    series = []
+    for variant in variants:
+        s = Series(label=variant)
+        for throughput in throughputs:
+            s.add(throughput, _measure(variant, n, params, throughput, payload, quick))
+        series.append(s)
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figures
+# ----------------------------------------------------------------------
+
+
+def figure1(quick: bool = True) -> FigureData:
+    """Latency vs payload, n=3: consensus on messages vs indirect (Setup 1)."""
+    payloads = [1, 2500, 5000] if quick else [1, 1000, 2000, 3000, 4000, 5000]
+    variants = ["Indirect consensus", "Consensus"]
+    fig = FigureData(
+        fig_id="fig1",
+        title="Latency vs message size, n=3 (consensus on messages vs indirect)",
+        xlabel="size of messages [bytes]",
+    )
+    for throughput in (100.0, 800.0):
+        fig.panels[f"{throughput:.0f} msgs/s"] = _payload_panel(
+            variants, 3, SETUP_1, throughput, payloads, quick
+        )
+    return fig
+
+
+def figure2_table() -> list[dict]:
+    """The quorum-intersection arithmetic behind Figure 2, as a table.
+
+    For each group size: the indirect-MR Phase-2 quorum, the worst-case
+    overlap of two such quorums, the adoption threshold, and the
+    resulting maximum resilience — including the paper's illustration
+    n=7, f=2 where two 5-element quorums share at least 3 processes.
+    """
+    rows = []
+    for n in range(2, 13):
+        f = max_resilience_for_intersection(n)
+        quorum = phase2_quorum(n)
+        rows.append(
+            {
+                "n": n,
+                "f_max (indirect MR)": f,
+                "phase2 quorum ⌈(2n+1)/3⌉": quorum,
+                "min overlap (n-2f)": intersection_lower_bound(n, f),
+                "adoption threshold ⌈(n+1)/3⌉": adoption_threshold(n),
+                "f_max (original MR)": (n - 1) // 2,
+            }
+        )
+    return rows
+
+
+def figure3(quick: bool = True) -> FigureData:
+    """Latency vs throughput, 1-byte payload: indirect vs faulty (Setup 1)."""
+    throughputs = [100.0, 400.0, 800.0] if quick else [
+        25.0, 50.0, 100.0, 200.0, 400.0, 600.0, 800.0,
+    ]
+    variants = ["Indirect consensus", "(Faulty) Consensus"]
+    fig = FigureData(
+        fig_id="fig3",
+        title="Latency vs throughput, 1 B payload (indirect vs faulty consensus)",
+        xlabel="throughput [msgs/s]",
+    )
+    for n in (3, 5):
+        fig.panels[f"n = {n} processes"] = _throughput_panel(
+            variants, n, SETUP_1, throughputs, 1, quick
+        )
+    return fig
+
+
+def figure4(quick: bool = True) -> FigureData:
+    """Latency vs payload, n=5: indirect vs faulty at four throughputs."""
+    payloads = [1, 2500, 5000] if quick else [1, 1000, 2000, 3000, 4000, 5000]
+    variants = ["Indirect consensus", "(Faulty) Consensus"]
+    fig = FigureData(
+        fig_id="fig4",
+        title="Latency vs payload, n=5 (indirect vs faulty consensus)",
+        xlabel="size of messages [bytes]",
+    )
+    for throughput in (10.0, 100.0, 400.0, 800.0):
+        fig.panels[f"{throughput:.0f} msgs/s"] = _payload_panel(
+            variants, 5, SETUP_1, throughput, payloads, quick
+        )
+    return fig
+
+
+def figure5(quick: bool = True) -> FigureData:
+    """Latency vs payload, n=3, Setup 2: indirect+RB O(n^2) vs URB+consensus."""
+    payloads = [1, 1250, 2500] if quick else [1, 500, 1000, 1500, 2000, 2500]
+    variants = [
+        "Indirect consensus w/ rbcast O(n^2)",
+        "Consensus w/ uniform rbcast",
+    ]
+    fig = FigureData(
+        fig_id="fig5",
+        title="Latency vs payload, n=3, Setup 2 (RB uses O(n^2) messages)",
+        xlabel="size of messages [bytes]",
+    )
+    for throughput in (500.0, 1500.0, 2000.0):
+        fig.panels[f"{throughput:.0f} msgs/s"] = _payload_panel(
+            variants, 3, SETUP_2, throughput, payloads, quick
+        )
+    return fig
+
+
+def figure6(quick: bool = True) -> FigureData:
+    """Latency vs payload, n=3, Setup 2: indirect+RB O(n) vs URB+consensus."""
+    payloads = [1, 1250, 2500] if quick else [1, 500, 1000, 1500, 2000, 2500]
+    variants = [
+        "Indirect consensus w/ rbcast O(n)",
+        "Consensus w/ uniform rbcast",
+    ]
+    fig = FigureData(
+        fig_id="fig6",
+        title="Latency vs payload, n=3, Setup 2 (RB uses O(n) messages)",
+        xlabel="size of messages [bytes]",
+    )
+    for throughput in (500.0, 1500.0, 2000.0):
+        fig.panels[f"{throughput:.0f} msgs/s"] = _payload_panel(
+            variants, 3, SETUP_2, throughput, payloads, quick
+        )
+    return fig
+
+
+def figure7(quick: bool = True) -> FigureData:
+    """Latency vs throughput, n=3, Setup 2, 1-byte payload."""
+    throughputs = [500.0, 1250.0, 2000.0] if quick else [
+        500.0, 750.0, 1000.0, 1250.0, 1500.0, 1750.0, 2000.0,
+    ]
+    fig = FigureData(
+        fig_id="fig7",
+        title="Latency vs throughput, n=3, Setup 2, 1 B payload",
+        xlabel="throughput [msgs/s]",
+    )
+    fig.panels["RB in O(n^2) messages"] = _throughput_panel(
+        ["Indirect consensus w/ rbcast O(n^2)", "Consensus w/ uniform rbcast"],
+        3, SETUP_2, throughputs, 1, quick,
+    )
+    fig.panels["RB in O(n) messages"] = _throughput_panel(
+        ["Indirect consensus w/ rbcast O(n)", "Consensus w/ uniform rbcast"],
+        3, SETUP_2, throughputs, 1, quick,
+    )
+    return fig
+
+
+def all_figures(quick: bool = True) -> list[FigureData]:
+    """Every measured figure of the paper, in order."""
+    return [
+        figure1(quick),
+        figure3(quick),
+        figure4(quick),
+        figure5(quick),
+        figure6(quick),
+        figure7(quick),
+    ]

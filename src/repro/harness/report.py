@@ -1,0 +1,63 @@
+"""ASCII rendering of reproduced figures and tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.harness.figures import FigureData, Series
+
+
+def render_table(rows: Iterable[Mapping], title: str | None = None) -> str:
+    """Render dict rows as a fixed-width ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r[c])) for r in rows)) for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(" | ".join(str(row[c]).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _series_rows(series: list[Series]) -> list[dict]:
+    xs = sorted({x for s in series for x, _ in s.points})
+    rows = []
+    for x in xs:
+        row: dict = {"x": x}
+        for s in series:
+            value = next((lat for px, lat in s.points if px == x), None)
+            row[s.label] = "-" if value is None else f"{value:.3f}"
+        rows.append(row)
+    return rows
+
+
+def render_figure(figure: FigureData) -> str:
+    """Render a reproduced figure as per-panel latency tables (ms)."""
+    blocks = [f"== {figure.fig_id}: {figure.title} ==",
+              f"   x = {figure.xlabel}; cells = mean latency [ms]"]
+    for panel, series in figure.panels.items():
+        blocks.append("")
+        blocks.append(render_table(_series_rows(series), title=f"-- {panel} --"))
+    return "\n".join(blocks)
+
+
+def crossover_summary(series_a: Series, series_b: Series) -> str:
+    """One-line comparison: who wins at each shared x (for EXPERIMENTS.md)."""
+    xs = sorted(
+        {x for x, _ in series_a.points} & {x for x, _ in series_b.points}
+    )
+    parts = []
+    for x in xs:
+        a = next(lat for px, lat in series_a.points if px == x)
+        b = next(lat for px, lat in series_b.points if px == x)
+        winner = series_a.label if a < b else series_b.label
+        parts.append(f"x={x:g}: {winner} ({a:.2f} vs {b:.2f} ms)")
+    return "; ".join(parts)

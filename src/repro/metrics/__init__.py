@@ -1,0 +1,15 @@
+"""Metrics: the paper's latency measurement and summary statistics.
+
+"The performance metric for atomic broadcast is the latency, defined as
+the average (over all processes) of the elapsed time between
+abroadcasting a message m and adelivering m."  —  Section 4.2
+
+:mod:`repro.metrics.latency` computes exactly that from a trace, with
+warmup/cooldown trimming; :mod:`repro.metrics.stats` provides the
+summary statistics the harness reports.
+"""
+
+from repro.metrics.latency import LatencyReport, measure_latency
+from repro.metrics.stats import SummaryStats, summarize
+
+__all__ = ["LatencyReport", "SummaryStats", "measure_latency", "summarize"]

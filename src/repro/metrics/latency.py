@@ -1,0 +1,96 @@
+"""The paper's latency metric.
+
+Latency of a message ``m`` at process ``p`` is ``adeliver_p(m) -
+abroadcast(m)``; the reported figure is the average over all processes
+and all measured messages (Section 4.2).  Messages abroadcast during
+the warmup or cooldown windows are excluded, as is standard for
+steady-state measurements (and as the Neko studies the paper builds on
+do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SystemConfig
+from repro.core.exceptions import ConfigurationError
+from repro.metrics.stats import SummaryStats, summarize
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Latency measurement of one run.
+
+    Attributes:
+        stats: Summary over every (message, process) delivery sample, in
+            **seconds** — ``stats.mean`` is the paper's metric.
+        messages_measured: Messages inside the measurement window.
+        messages_fully_delivered: Measured messages adelivered by every
+            correct process (should equal ``messages_measured`` on a
+            quiescent correct run).
+        samples: Raw per-delivery latencies in seconds.
+    """
+
+    stats: SummaryStats
+    messages_measured: int
+    messages_fully_delivered: int
+    samples: tuple[float, ...]
+
+    @property
+    def mean_ms(self) -> float:
+        """The paper's headline number: average latency in milliseconds."""
+        return self.stats.mean * 1e3
+
+
+def measure_latency(
+    trace: Trace,
+    config: SystemConfig,
+    warmup: float = 0.0,
+    cutoff: float | None = None,
+) -> LatencyReport:
+    """Compute the latency report from a finished run's trace.
+
+    Args:
+        trace: The run's protocol-event trace.
+        config: Group configuration (to know the correct processes).
+        warmup: Messages abroadcast before this time are excluded.
+        cutoff: Messages abroadcast after this time are excluded
+            (defaults to no upper cutoff).
+
+    Raises:
+        ConfigurationError: If no message falls inside the window.
+    """
+    correct = trace.correct_processes(config.processes)
+    measured = {
+        e.message.mid: e.time
+        for e in trace.abroadcasts()
+        if e.time >= warmup and (cutoff is None or e.time <= cutoff)
+    }
+    if not measured:
+        raise ConfigurationError(
+            f"no messages in the measurement window (warmup={warmup}, "
+            f"cutoff={cutoff}); lengthen the run"
+        )
+    samples: list[float] = []
+    deliveries_per_message: dict = {mid: 0 for mid in measured}
+    for process in correct:
+        for event in trace.adeliveries(process):
+            sent = measured.get(event.message.mid)
+            if sent is not None:
+                samples.append(event.time - sent)
+                deliveries_per_message[event.message.mid] += 1
+    fully = sum(
+        1 for count in deliveries_per_message.values() if count >= len(correct)
+    )
+    if not samples:
+        raise ConfigurationError(
+            "no measured message was adelivered; the run is too short "
+            "or the stack is stuck"
+        )
+    return LatencyReport(
+        stats=summarize(samples),
+        messages_measured=len(measured),
+        messages_fully_delivered=fully,
+        samples=tuple(samples),
+    )

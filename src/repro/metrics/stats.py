@@ -1,0 +1,68 @@
+"""Summary statistics over latency samples."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class SummaryStats:
+    """Mean / spread / percentiles of a sample, in the sample's unit."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.6g} p50={self.p50:.6g} "
+            f"p90={self.p90:.6g} p99={self.p99:.6g} max={self.maximum:.6g}"
+        )
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 1]) of a sorted sample."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high or sorted_values[low] == sorted_values[high]:
+        return sorted_values[low]
+    weight = position - low
+    return sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute :class:`SummaryStats` for ``values`` (must be non-empty)."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    ordered = sorted(values)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in ordered) / (count - 1)
+        stdev = math.sqrt(variance)
+    else:
+        stdev = 0.0
+    return SummaryStats(
+        count=count,
+        mean=mean,
+        stdev=stdev,
+        minimum=ordered[0],
+        p50=percentile(ordered, 0.50),
+        p90=percentile(ordered, 0.90),
+        p99=percentile(ordered, 0.99),
+        maximum=ordered[-1],
+    )

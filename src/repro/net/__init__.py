@@ -1,0 +1,40 @@
+"""Network substrate: frames, transports, and latency models.
+
+The paper's measurements were taken on two LAN clusters (Setup 1:
+100 Mb/s Ethernet + Pentium III, Setup 2: 1 Gb/s Ethernet + Pentium 4).
+This package provides the simulated equivalents:
+
+* :class:`~repro.net.frame.Frame` — one point-to-point datagram with an
+  explicit wire size (the quantity the whole paper is about).
+* :class:`~repro.net.transport.Transport` — the per-process endpoint that
+  protocol layers send and receive through.
+* :mod:`repro.net.models` — the latency models.  The
+  :class:`~repro.net.models.ContentionNetwork` charges sender CPU, a
+  shared transmission medium, and receiver CPU per frame (the Neko
+  performance model), which reproduces the queueing behaviour behind the
+  paper's latency/throughput curves.  The
+  :class:`~repro.net.models.ConstantLatencyNetwork` is a lightweight
+  model for unit tests and crafted scenarios.
+* :mod:`repro.net.setups` — calibrated ``SETUP_1`` / ``SETUP_2`` presets.
+"""
+
+from repro.net.frame import Frame
+from repro.net.models import (
+    ConstantLatencyNetwork,
+    ContentionNetwork,
+    Network,
+    NetworkParams,
+)
+from repro.net.setups import SETUP_1, SETUP_2
+from repro.net.transport import Transport
+
+__all__ = [
+    "ConstantLatencyNetwork",
+    "ContentionNetwork",
+    "Frame",
+    "Network",
+    "NetworkParams",
+    "SETUP_1",
+    "SETUP_2",
+    "Transport",
+]

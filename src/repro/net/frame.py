@@ -1,0 +1,62 @@
+"""Network frames.
+
+A :class:`Frame` is one point-to-point datagram: source, destination, a
+``kind`` string that routes it to the right protocol handler on arrival,
+an opaque ``body``, and — crucially — an explicit ``size`` in bytes.
+
+The size is supplied by the sending protocol layer and is what the
+network models charge for.  Keeping it explicit (instead of serializing
+real buffers) is what lets the simulation push millions of messages per
+second of simulated traffic while still modelling, byte for byte, the
+difference between shipping full payloads and shipping 12-byte message
+identifiers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.identifiers import ProcessId
+
+#: Fixed per-frame header charged on top of the protocol body
+#: (UDP/IP-style framing).
+FRAME_HEADER_SIZE = 28
+
+_frame_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """One datagram in flight from ``src`` to ``dst``.
+
+    Attributes:
+        src: Sending process.
+        dst: Destination process.
+        kind: Routing key, e.g. ``"rb.data"`` or ``"cons.ack"``.  The
+            receiving transport dispatches on this string.
+        body: Protocol payload (any picklable value; never inspected by
+            the network).
+        size: Protocol-level size in bytes, *excluding* the frame header.
+        control: True for small protocol-control traffic (consensus
+            rounds, acks, heartbeats); False for application data.  Some
+            network policies treat the two classes differently, mirroring
+            the separate sockets/channels a real stack uses per layer.
+        seq: Globally unique frame number (diagnostics, determinism tie-break).
+    """
+
+    src: ProcessId
+    dst: ProcessId
+    kind: str
+    body: Any
+    size: int
+    control: bool = True
+    seq: int = field(default_factory=lambda: next(_frame_counter))
+
+    def wire_size(self) -> int:
+        """Bytes actually occupying the wire: body plus frame header."""
+        return self.size + FRAME_HEADER_SIZE
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Frame#{self.seq}({self.kind} p{self.src}->p{self.dst}, {self.size}B)"

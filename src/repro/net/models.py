@@ -1,0 +1,301 @@
+"""Network latency models.
+
+Two models are provided:
+
+* :class:`ConstantLatencyNetwork` — every frame takes ``base + per_byte *
+  wire_size`` seconds (plus optional uniform jitter, plus an optional
+  per-frame ``delay_fn`` hook used by crafted fault scenarios).  No
+  queueing.  Cheap, ideal for unit tests and algorithm-level scenarios.
+
+* :class:`ContentionNetwork` — the performance model under which the
+  paper's curves were produced (after the Neko performance model of
+  Urbán's thesis).  Each frame is charged, in order, on three FIFO
+  resources: the **sender's CPU** (serialization / syscall cost), the
+  **shared transmission medium** (wire time on the Ethernet segment),
+  and the **receiver's CPU** (deserialization / interrupt cost).
+  Queueing at these resources is what bends the latency/throughput
+  curves upward as the system saturates — exactly the effect Figures 3-7
+  of the paper measure.
+
+Both models honour crash-stop semantics: frames destined to a crashed
+process are dropped, and (optionally) frames still queued at a sender
+that crashes are lost, modelling the loss of OS socket buffers when a
+machine dies.  That option is what makes the Section 2.2 validity
+violation reproducible in a test.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, TYPE_CHECKING
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.identifiers import ProcessId
+from repro.net.frame import Frame
+from repro.sim.engine import Engine, EventHandle
+from repro.sim.resources import FifoResource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.process import SimProcess
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkParams:
+    """Calibration constants of the contention model (all in seconds).
+
+    Attributes:
+        send_overhead: Sender CPU time per frame, size-independent.
+        recv_overhead: Receiver CPU time per frame, size-independent.
+        cpu_per_byte: Sender/receiver CPU time per body byte
+            (serialization cost).
+        wire_overhead: Medium occupancy per frame, size-independent
+            (preamble, inter-frame gap, switch latency).
+        wire_per_byte: Medium occupancy per wire byte (8 bits / link rate).
+        rcv_lookup_cost: CPU time charged per identifier looked up by the
+            ``rcv`` predicate of indirect consensus.  This is the cost the
+            paper identifies as the source of indirect consensus's
+            overhead ("the calls to the rcv function ... take more and
+            more time" as throughput grows).
+    """
+
+    send_overhead: float
+    recv_overhead: float
+    cpu_per_byte: float
+    wire_overhead: float
+    wire_per_byte: float
+    rcv_lookup_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "send_overhead",
+            "recv_overhead",
+            "cpu_per_byte",
+            "wire_overhead",
+            "wire_per_byte",
+            "rcv_lookup_cost",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"NetworkParams.{name} must be >= 0")
+
+
+class Network:
+    """Base class: frame accounting, crash handling, delivery dispatch.
+
+    Subclasses implement :meth:`_transmit`, which must eventually call
+    :meth:`_deliver` (typically through engine callbacks).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        drop_in_flight_of_crashed_sender: bool = False,
+    ) -> None:
+        self.engine = engine
+        self._processes: dict[ProcessId, "SimProcess"] = {}
+        self._handlers: dict[ProcessId, Callable[[Frame], None]] = {}
+        self.drop_in_flight_of_crashed_sender = drop_in_flight_of_crashed_sender
+        self._in_flight: dict[ProcessId, list[EventHandle]] = {}
+        #: Counters by frame kind (tests assert message complexity with these).
+        self.frames_sent: dict[str, int] = {}
+        self.bytes_sent: dict[str, int] = {}
+        self.frames_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(
+        self, process: "SimProcess", handler: Callable[[Frame], None]
+    ) -> None:
+        """Register ``process`` and its inbound frame ``handler``."""
+        self._processes[process.pid] = process
+        self._handlers[process.pid] = handler
+        self._in_flight[process.pid] = []
+        if self.drop_in_flight_of_crashed_sender:
+            process.on_crash(lambda pid=process.pid: self._drop_in_flight(pid))
+
+    def process(self, pid: ProcessId) -> "SimProcess":
+        return self._processes[pid]
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+
+    def send(self, frame: Frame) -> None:
+        """Inject ``frame``; a crashed sender sends nothing."""
+        sender = self._processes.get(frame.src)
+        if sender is None:
+            raise ConfigurationError(f"unknown sender p{frame.src}")
+        if frame.dst not in self._processes:
+            raise ConfigurationError(f"unknown destination p{frame.dst}")
+        if sender.crashed:
+            self.frames_dropped += 1
+            return
+        self.frames_sent[frame.kind] = self.frames_sent.get(frame.kind, 0) + 1
+        self.bytes_sent[frame.kind] = (
+            self.bytes_sent.get(frame.kind, 0) + frame.wire_size()
+        )
+        self._transmit(frame)
+
+    def _transmit(self, frame: Frame) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Delivery path
+    # ------------------------------------------------------------------
+
+    def _track(self, src: ProcessId, handle: EventHandle) -> None:
+        """Remember an in-flight delivery so a sender crash can void it."""
+        if self.drop_in_flight_of_crashed_sender:
+            self._in_flight[src].append(handle)
+
+    def _drop_in_flight(self, src: ProcessId) -> None:
+        for handle in self._in_flight[src]:
+            if not handle.cancelled:
+                handle.cancel()
+                self.frames_dropped += 1
+        self._in_flight[src].clear()
+
+    def _deliver(self, frame: Frame) -> None:
+        """Hand ``frame`` to the destination (dropped if it crashed)."""
+        dst = self._processes[frame.dst]
+        if dst.crashed:
+            self.frames_dropped += 1
+            return
+        self._handlers[frame.dst](frame)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def total_frames(self, prefix: str = "") -> int:
+        """Total frames sent whose kind starts with ``prefix``."""
+        return sum(n for kind, n in self.frames_sent.items() if kind.startswith(prefix))
+
+    def total_bytes(self, prefix: str = "") -> int:
+        """Total wire bytes sent whose kind starts with ``prefix``."""
+        return sum(n for kind, n in self.bytes_sent.items() if kind.startswith(prefix))
+
+
+class ConstantLatencyNetwork(Network):
+    """Frames arrive after ``base + per_byte * wire_size`` (+ jitter).
+
+    The optional ``delay_fn`` hook receives each frame and may return a
+    replacement one-way delay in seconds; crafted fault-injection
+    scenarios use it to reorder control traffic ahead of bulk data, which
+    is how the Section 2.2 validity violation and the Section 3.3.2 MR
+    indistinguishability scenario are staged deterministically.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        base: float = 100e-6,
+        per_byte: float = 0.0,
+        jitter: float = 0.0,
+        rng: random.Random | None = None,
+        delay_fn: Callable[[Frame], float | None] | None = None,
+        drop_in_flight_of_crashed_sender: bool = False,
+    ) -> None:
+        super().__init__(engine, drop_in_flight_of_crashed_sender)
+        if base < 0 or per_byte < 0 or jitter < 0:
+            raise ConfigurationError("network delays must be >= 0")
+        if jitter > 0 and rng is None:
+            raise ConfigurationError("jitter requires an rng stream")
+        self.base = base
+        self.per_byte = per_byte
+        self.jitter = jitter
+        self.rng = rng
+        self.delay_fn = delay_fn
+
+    def _transmit(self, frame: Frame) -> None:
+        delay: float | None = None
+        if self.delay_fn is not None:
+            delay = self.delay_fn(frame)
+        if delay is None:
+            delay = self.base + self.per_byte * frame.wire_size()
+            if self.jitter > 0:
+                assert self.rng is not None
+                delay += self.rng.uniform(0.0, self.jitter)
+        handle = self.engine.schedule(delay, self._deliver, frame)
+        self._track(frame.src, handle)
+
+
+class ContentionNetwork(Network):
+    """CPU + shared-medium contention model (the Neko performance model).
+
+    Per frame, in order:
+
+    1. occupy the **sender CPU** for ``send_overhead + cpu_per_byte*size``;
+    2. occupy the **shared medium** for ``wire_overhead + wire_per_byte *
+       wire_size`` (single Ethernet segment — one frame at a time);
+    3. occupy the **receiver CPU** for ``recv_overhead + cpu_per_byte*size``;
+    4. deliver to the protocol handler.
+
+    Self-addressed frames skip the medium and the second CPU charge: a
+    local loopback costs one ``send_overhead`` only.
+
+    All three stages are FIFO queues, so a burst of large frames delays
+    every frame behind it — the saturation mechanism of Figures 3-7.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        params: NetworkParams,
+        drop_in_flight_of_crashed_sender: bool = False,
+    ) -> None:
+        super().__init__(engine, drop_in_flight_of_crashed_sender)
+        self.params = params
+        self.medium = FifoResource(engine, name="net.medium")
+
+    def cpu_cost(self, frame: Frame, overhead: float) -> float:
+        return overhead + self.params.cpu_per_byte * frame.size
+
+    def wire_cost(self, frame: Frame) -> float:
+        return self.params.wire_overhead + self.params.wire_per_byte * frame.wire_size()
+
+    def _transmit(self, frame: Frame) -> None:
+        sender = self._processes[frame.src]
+        if frame.dst == frame.src:
+            sender.cpu.occupy(
+                self.params.send_overhead, self._deliver_guarded, frame
+            )
+            return
+        sender.cpu.occupy(
+            self.cpu_cost(frame, self.params.send_overhead),
+            self._enter_medium,
+            frame,
+        )
+
+    def _enter_medium(self, frame: Frame) -> None:
+        if self._processes[frame.src].crashed and self.drop_in_flight_of_crashed_sender:
+            self.frames_dropped += 1
+            return
+        self.medium.occupy(self.wire_cost(frame), self._enter_receiver, frame)
+
+    def _enter_receiver(self, frame: Frame) -> None:
+        dst = self._processes[frame.dst]
+        if dst.crashed:
+            self.frames_dropped += 1
+            return
+        dst.cpu.occupy(
+            self.cpu_cost(frame, self.params.recv_overhead),
+            self._deliver_guarded,
+            frame,
+        )
+
+    def _deliver_guarded(self, frame: Frame) -> None:
+        self._deliver(frame)
+
+    def charge_rcv_lookups(self, pid: ProcessId, lookups: int) -> None:
+        """Charge CPU time for ``lookups`` rcv() identifier lookups at ``pid``.
+
+        Called by the indirect consensus layers; the charge queues on the
+        process CPU ahead of its subsequent sends, which is how the rcv
+        overhead turns into measurable end-to-end latency.
+        """
+        if lookups <= 0 or self.params.rcv_lookup_cost <= 0:
+            return
+        self._processes[pid].cpu.occupy(self.params.rcv_lookup_cost * lookups)

@@ -1,0 +1,116 @@
+"""Per-process transport endpoint.
+
+Protocol layers never touch the network directly; they send through
+their process's :class:`Transport`, which stamps frames with the local
+process id, and they receive by registering a handler for each frame
+kind they own (``"rb.data"``, ``"cons.ack"``, ...).
+
+The transport is also where the crash-stop model is enforced on the
+receive path: a crashed process's handlers are never invoked.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.identifiers import ProcessId
+from repro.net.frame import Frame
+from repro.net.models import Network
+from repro.sim.process import SimProcess
+
+FrameHandler = Callable[[Frame], None]
+
+
+class Transport:
+    """Send/receive endpoint of one process.
+
+    Handlers are registered per frame kind; registering the same kind
+    twice is a configuration error (it would silently shadow a protocol).
+    """
+
+    def __init__(self, process: SimProcess, network: Network) -> None:
+        self.process = process
+        self.network = network
+        self._handlers: dict[str, FrameHandler] = {}
+        network.attach(process, self._dispatch)
+
+    @property
+    def pid(self) -> ProcessId:
+        return self.process.pid
+
+    @property
+    def peers(self) -> tuple[ProcessId, ...]:
+        """Every process attached to the network, including this one."""
+        return tuple(sorted(self.network._processes))
+
+    def register(self, kind: str, handler: FrameHandler) -> None:
+        """Route inbound frames of ``kind`` to ``handler``."""
+        if kind in self._handlers:
+            raise ConfigurationError(
+                f"p{self.pid}: handler for frame kind {kind!r} already registered"
+            )
+        self._handlers[kind] = handler
+
+    def _dispatch(self, frame: Frame) -> None:
+        if self.process.crashed:
+            return
+        handler = self._handlers.get(frame.kind)
+        if handler is None:
+            raise ConfigurationError(
+                f"p{self.pid}: no handler for frame kind {frame.kind!r}"
+            )
+        handler(frame)
+
+    # ------------------------------------------------------------------
+    # Send primitives
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        dst: ProcessId,
+        kind: str,
+        body: Any,
+        size: int,
+        control: bool = True,
+    ) -> None:
+        """Send one frame to ``dst`` (which may be this process itself)."""
+        self.network.send(
+            Frame(
+                src=self.pid,
+                dst=dst,
+                kind=kind,
+                body=body,
+                size=size,
+                control=control,
+            )
+        )
+
+    def multicast(
+        self,
+        dsts: Iterable[ProcessId],
+        kind: str,
+        body: Any,
+        size: int,
+        control: bool = True,
+    ) -> None:
+        """Send one frame per destination, in ascending pid order.
+
+        Multicast on a LAN without IP multicast is n unicasts; each copy
+        is charged separately by the network model, which is what makes
+        O(n) vs O(n**2) broadcast algorithms measurably different.
+        """
+        for dst in sorted(dsts):
+            self.send(dst, kind, body, size, control)
+
+    def send_all(
+        self,
+        kind: str,
+        body: Any,
+        size: int,
+        include_self: bool = True,
+        control: bool = True,
+    ) -> None:
+        """Send to every attached process (optionally skipping self)."""
+        dsts = [p for p in self.peers if include_self or p != self.pid]
+        self.multicast(dsts, kind, body, size, control)

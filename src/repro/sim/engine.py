@@ -1,0 +1,158 @@
+"""The discrete-event engine: a simulated clock and an event queue.
+
+The engine is deliberately minimal: a min-heap of ``(time, sequence)``
+keyed callbacks and a ``run`` loop.  Protocol logic lives in layers; the
+engine only guarantees that callbacks fire in non-decreasing time order
+and that ties are broken by scheduling order, which — together with the
+named RNG streams of :mod:`repro.sim.rng` — makes whole simulations
+bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.exceptions import ConfigurationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Heap entry: fire ``fn(*args)`` at ``time``; ``seq`` breaks ties."""
+
+    time: float
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Engine.schedule`; supports cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event is (or was) due."""
+        return self._event.time
+
+
+class Engine:
+    """Single-threaded deterministic discrete-event loop.
+
+    Typical use::
+
+        engine = Engine()
+        engine.schedule(0.5, print, "half a second of simulated time")
+        engine.run(until=10.0)
+
+    Simulated time is a float in **seconds**.  The engine never looks at
+    wall-clock time; a simulation of hours of traffic completes in however
+    long the callbacks take to execute.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[_ScheduledEvent] = []
+        self._running = False
+        #: Number of callbacks executed so far (diagnostics / runaway guard).
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self, delay: float, fn: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ConfigurationError(f"cannot schedule in the past: delay={delay}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(
+        self, time: float, fn: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ConfigurationError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        self._seq += 1
+        event = _ScheduledEvent(time=time, seq=self._seq, fn=fn, args=args)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still in the queue."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> float:
+        """Drain the event queue.
+
+        Args:
+            until: Stop once the next event would fire strictly after this
+                time (the clock is advanced to ``until``).
+            max_events: Safety valve against runaway protocols; raises
+                ``RuntimeError`` when exceeded.
+            stop_when: Optional predicate evaluated after every callback;
+                the loop exits as soon as it returns true.
+
+        Returns:
+            The simulated time at which the run stopped.
+        """
+        if self._running:
+            raise RuntimeError("Engine.run is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.fn(*event.args)
+                self.events_executed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded max_events={max_events} "
+                        f"at t={self._now:.6f}s (likely a protocol livelock)"
+                    )
+                if stop_when is not None and stop_when():
+                    break
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_idle(self, max_events: int | None = None) -> float:
+        """Run until no events remain (convenience for tests)."""
+        return self.run(until=None, max_events=max_events)

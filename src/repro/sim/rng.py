@@ -1,0 +1,45 @@
+"""Named, independently seeded random streams.
+
+Every source of randomness in a simulation (workload arrivals, network
+jitter, payload contents, ...) draws from its own ``random.Random``
+stream, derived deterministically from the experiment seed and the
+stream's name.  This is the standard trick for reproducible simulations:
+adding a new consumer of randomness, or changing how often one consumer
+draws, cannot perturb any other stream, so regression baselines stay
+valid across refactorings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngRegistry:
+    """Factory of named deterministic random streams.
+
+    >>> rngs = RngRegistry(seed=42)
+    >>> a = rngs.stream("workload.p1")
+    >>> b = rngs.stream("net.jitter")
+    >>> a is rngs.stream("workload.p1")   # streams are memoised
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        stream = random.Random(int.from_bytes(digest[:8], "big"))
+        self._streams[name] = stream
+        return stream
+
+    def fork(self, salt: str) -> "RngRegistry":
+        """Derive an independent registry (e.g. one per repetition)."""
+        digest = hashlib.sha256(f"{self.seed}:fork:{salt}".encode()).digest()
+        return RngRegistry(seed=int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,146 @@
+"""Protocol-event traces.
+
+A :class:`Trace` accumulates the :class:`~repro.core.events.ProtocolEvent`
+records emitted by every layer of every process during a run.  It is the
+single source of truth for both correctness checking (the properties of
+the paper are predicates over traces) and metrics (delivery latency is a
+function of matching ``ABroadcastEvent``/``ADeliverEvent`` pairs).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+from repro.core.events import (
+    ABroadcastEvent,
+    ADeliverEvent,
+    CrashEvent,
+    DecideEvent,
+    ProposeEvent,
+    ProtocolEvent,
+    RBroadcastEvent,
+    RDeliverEvent,
+)
+from repro.core.identifiers import MessageId, ProcessId
+
+
+class Trace:
+    """Append-only, time-ordered record of protocol events.
+
+    Events arrive in simulated-time order because the engine is
+    single-threaded; the trace simply appends.  Accessors return typed
+    views so checkers never need isinstance ladders.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[ProtocolEvent] = []
+        self._adeliveries: dict[ProcessId, list[ADeliverEvent]] = defaultdict(list)
+        self._abroadcasts: list[ABroadcastEvent] = []
+        self._rdeliveries: dict[ProcessId, list[RDeliverEvent]] = defaultdict(list)
+        self._rbroadcasts: list[RBroadcastEvent] = []
+        self._decides: dict[int, list[DecideEvent]] = defaultdict(list)
+        self._proposals: dict[int, list[ProposeEvent]] = defaultdict(list)
+        self._crashes: dict[ProcessId, CrashEvent] = {}
+
+    def record(self, event: ProtocolEvent) -> None:
+        """Append ``event`` and update the per-kind indexes."""
+        self.events.append(event)
+        if isinstance(event, ADeliverEvent):
+            self._adeliveries[event.process].append(event)
+        elif isinstance(event, ABroadcastEvent):
+            self._abroadcasts.append(event)
+        elif isinstance(event, RDeliverEvent):
+            self._rdeliveries[event.process].append(event)
+        elif isinstance(event, RBroadcastEvent):
+            self._rbroadcasts.append(event)
+        elif isinstance(event, DecideEvent):
+            self._decides[event.instance].append(event)
+        elif isinstance(event, ProposeEvent):
+            self._proposals[event.instance].append(event)
+        elif isinstance(event, CrashEvent):
+            self._crashes[event.process] = event
+
+    # ------------------------------------------------------------------
+    # Typed accessors
+    # ------------------------------------------------------------------
+
+    def abroadcasts(self) -> list[ABroadcastEvent]:
+        """All ``abroadcast`` invocations, in time order."""
+        return list(self._abroadcasts)
+
+    def adeliveries(self, process: ProcessId | None = None) -> list[ADeliverEvent]:
+        """``adeliver`` events of one process (or all, time-ordered)."""
+        if process is not None:
+            return list(self._adeliveries[process])
+        return [e for e in self.events if isinstance(e, ADeliverEvent)]
+
+    def adelivery_sequence(self, process: ProcessId) -> list[MessageId]:
+        """The sequence of message ids adelivered by ``process``."""
+        return [e.message.mid for e in self._adeliveries[process]]
+
+    def rbroadcasts(self) -> list[RBroadcastEvent]:
+        return list(self._rbroadcasts)
+
+    def rdeliveries(self, process: ProcessId | None = None) -> list[RDeliverEvent]:
+        if process is not None:
+            return list(self._rdeliveries[process])
+        return [e for e in self.events if isinstance(e, RDeliverEvent)]
+
+    def proposals(self, instance: int | None = None) -> list[ProposeEvent]:
+        if instance is not None:
+            return list(self._proposals[instance])
+        return [e for e in self.events if isinstance(e, ProposeEvent)]
+
+    def decides(self, instance: int | None = None) -> list[DecideEvent]:
+        if instance is not None:
+            return list(self._decides[instance])
+        return [e for e in self.events if isinstance(e, DecideEvent)]
+
+    def instances(self) -> list[int]:
+        """All consensus instance numbers that reached a decision."""
+        return sorted(self._decides)
+
+    def crashes(self) -> dict[ProcessId, CrashEvent]:
+        """Map of crashed process -> crash event."""
+        return dict(self._crashes)
+
+    def crash_time(self, process: ProcessId) -> float | None:
+        event = self._crashes.get(process)
+        return None if event is None else event.time
+
+    def correct_processes(self, all_processes: Iterator[ProcessId] | tuple) -> frozenset[ProcessId]:
+        """Processes that never crashed during the run."""
+        return frozenset(p for p in all_processes if p not in self._crashes)
+
+    # ------------------------------------------------------------------
+    # Derived queries used by the checkers
+    # ------------------------------------------------------------------
+
+    def holders_at(self, ids: frozenset[MessageId], time: float) -> frozenset[ProcessId]:
+        """Processes that had r-delivered every message of ``ids`` by ``time``.
+
+        This is the *v-stability* observation: a configuration is v-stable
+        at ``time`` when ``f + 1`` processes are in this set.  A process
+        that crashed before ``time`` no longer counts as a holder (its
+        copy is lost).
+        """
+        holders = set()
+        for process, deliveries in self._rdeliveries.items():
+            crash = self._crashes.get(process)
+            if crash is not None and crash.time <= time:
+                continue
+            held = {e.message.mid for e in deliveries if e.time <= time}
+            if ids <= held:
+                holders.add(process)
+        return frozenset(holders)
+
+    def first_decision(self, instance: int) -> DecideEvent | None:
+        """Earliest decide event of ``instance``, if any."""
+        events = self._decides.get(instance)
+        if not events:
+            return None
+        return min(events, key=lambda e: (e.time, e.process))
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,20 @@
+"""Stack composition: build complete simulated systems in one call.
+
+:func:`~repro.stack.builder.build_system` assembles, for every process,
+the full protocol stack the paper evaluates::
+
+    workload / application
+    atomic broadcast      (indirect | faulty-ids | urb-ids | on-messages)
+    consensus             (ct | mr | ct-indirect | mr-indirect)
+    broadcast             (flood O(n^2) | sender O(n) | uniform)
+    failure detector      (oracle ◇P | heartbeat ◇S)
+    transport
+    network model         (contention | constant-latency)
+
+and returns a :class:`~repro.stack.builder.System` handle exposing the
+engine, trace, per-process services, and run helpers.
+"""
+
+from repro.stack.builder import StackSpec, System, build_system
+
+__all__ = ["StackSpec", "System", "build_system"]

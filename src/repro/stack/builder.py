@@ -1,0 +1,286 @@
+"""System builder: from a declarative spec to a runnable simulation.
+
+The :class:`StackSpec` names one of the paper's four atomic-broadcast
+stacks and its substrates; :func:`build_system` turns it into ``n``
+fully wired processes over a shared network and returns the
+:class:`System` handle that tests, examples, and the benchmark harness
+all drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.abcast.base import AtomicBroadcast
+from repro.abcast.faulty_ids import FaultyIdsAtomicBroadcast
+from repro.abcast.indirect import IndirectAtomicBroadcast
+from repro.abcast.on_messages import OnMessagesAtomicBroadcast
+from repro.abcast.urb_ids import UrbIdsAtomicBroadcast
+from repro.broadcast.flood import FloodReliableBroadcast
+from repro.broadcast.sender import SenderReliableBroadcast
+from repro.broadcast.uniform import UniformReliableBroadcast
+from repro.consensus.base import ID_SET_CODEC, MESSAGE_SET_CODEC
+from repro.consensus.chandra_toueg import ChandraTouegConsensus
+from repro.consensus.ct_indirect import CTIndirectConsensus
+from repro.consensus.mostefaoui_raynal import MostefaouiRaynalConsensus
+from repro.consensus.mr_indirect import MRIndirectConsensus
+from repro.core.config import SystemConfig
+from repro.core.exceptions import ConfigurationError
+from repro.core.identifiers import ProcessId
+from repro.failure.crash import CrashSchedule
+from repro.failure.detector import FalseSuspicion, wire_oracle_detectors
+from repro.failure.heartbeat import wire_heartbeat_detectors
+from repro.net.frame import Frame
+from repro.net.models import ConstantLatencyNetwork, ContentionNetwork, NetworkParams
+from repro.net.setups import SETUP_1
+from repro.net.transport import Transport
+from repro.sim.engine import Engine
+from repro.sim.process import SimProcess
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Trace
+
+#: abcast variant -> (abcast class, allowed consensus algorithms)
+_ABCAST_VARIANTS = {
+    "indirect": (IndirectAtomicBroadcast, ("ct-indirect", "mr-indirect")),
+    "faulty-ids": (FaultyIdsAtomicBroadcast, ("ct", "mr")),
+    "urb-ids": (UrbIdsAtomicBroadcast, ("ct", "mr")),
+    "on-messages": (OnMessagesAtomicBroadcast, ("ct", "mr")),
+}
+
+_CONSENSUS_CLASSES = {
+    "ct": ChandraTouegConsensus,
+    "mr": MostefaouiRaynalConsensus,
+    "ct-indirect": CTIndirectConsensus,
+    "mr-indirect": MRIndirectConsensus,
+}
+
+
+@dataclass(frozen=True)
+class StackSpec:
+    """Declarative description of one experiment's protocol stack.
+
+    Attributes:
+        n: Number of processes.
+        abcast: ``"indirect"`` | ``"faulty-ids"`` | ``"urb-ids"`` |
+            ``"on-messages"`` — the four stacks of the paper's evaluation.
+        consensus: ``"ct"`` | ``"mr"`` | ``"ct-indirect"`` |
+            ``"mr-indirect"``.  Must be compatible with ``abcast`` (the
+            indirect stack needs an indirect algorithm, the others need
+            an original one).
+        rb: Diffusion layer for the non-URB stacks: ``"flood"``
+            (O(n^2) messages, Figs. 5/7a) or ``"sender"`` (O(n)
+            messages in good runs, Figs. 6/7b).
+        network: ``"contention"`` (performance model) or ``"constant"``
+            (fixed per-frame latency; unit tests and scenarios).
+        params: Contention-model calibration (ignored for "constant").
+        fd: ``"oracle"`` (◇P driven by ground truth) or ``"heartbeat"``
+            (message-based ◇S).
+        f: Crash tolerance; defaults to each algorithm's maximum.
+        seed: Seed for all randomness in the run.
+        constant_latency: One-way frame delay for the constant network.
+        drop_in_flight_on_crash: Lose frames still queued at a crashing
+            sender (models lost socket buffers; needed by the
+            Section 2.2 scenario).
+        enforce_resilience: Fail fast when a schedule exceeds ``f``;
+            scenario tests that *demonstrate* over-``f`` violations
+            disable this.
+    """
+
+    n: int
+    abcast: str = "indirect"
+    consensus: str = "ct-indirect"
+    rb: str = "flood"
+    network: str = "contention"
+    params: NetworkParams = SETUP_1
+    fd: str = "oracle"
+    f: int | None = None
+    seed: int = 0
+    constant_latency: float = 100e-6
+    fd_detection_delay: float = 30e-3
+    heartbeat_interval: float = 20e-3
+    heartbeat_timeout: float = 100e-3
+    drop_in_flight_on_crash: bool = False
+    enforce_resilience: bool = True
+    false_suspicions: tuple[FalseSuspicion, ...] = ()
+    delay_fn: Callable[[Frame], float | None] | None = None
+    #: Ablation knobs (see DESIGN.md section 6): cap on identifiers per
+    #: consensus proposal, and the CT-indirect Phase-3 policy when
+    #: rcv(v) fails ("nack" = Algorithm 2, "wait" = stall for messages).
+    batch_cap: int | None = None
+    ct_missing_policy: str = "nack"
+
+    def __post_init__(self) -> None:
+        if self.abcast not in _ABCAST_VARIANTS:
+            raise ConfigurationError(
+                f"unknown abcast variant {self.abcast!r}; "
+                f"choose from {sorted(_ABCAST_VARIANTS)}"
+            )
+        _cls, allowed = _ABCAST_VARIANTS[self.abcast]
+        if self.consensus not in allowed:
+            raise ConfigurationError(
+                f"abcast={self.abcast!r} requires consensus in {allowed}, "
+                f"got {self.consensus!r}"
+            )
+        if self.rb not in ("flood", "sender"):
+            raise ConfigurationError(f"unknown rb {self.rb!r}")
+        if self.network not in ("contention", "constant"):
+            raise ConfigurationError(f"unknown network {self.network!r}")
+        if self.fd not in ("oracle", "heartbeat"):
+            raise ConfigurationError(f"unknown fd {self.fd!r}")
+
+
+@dataclass
+class System:
+    """A fully wired simulated system, ready to drive."""
+
+    spec: StackSpec
+    config: SystemConfig
+    engine: Engine
+    trace: Trace
+    rngs: RngRegistry
+    network: ConstantLatencyNetwork | ContentionNetwork
+    processes: dict[ProcessId, SimProcess]
+    transports: dict[ProcessId, Transport]
+    detectors: dict[ProcessId, object]
+    broadcasts: dict[ProcessId, object]
+    consensuses: dict[ProcessId, object]
+    abcasts: dict[ProcessId, AtomicBroadcast] = field(default_factory=dict)
+
+    def run(self, until: float, max_events: int | None = None) -> float:
+        """Advance simulated time to ``until``."""
+        return self.engine.run(until=until, max_events=max_events)
+
+    def run_until_delivered(
+        self,
+        count: int,
+        timeout: float,
+        max_events: int | None = None,
+    ) -> bool:
+        """Run until every non-crashed process adelivered ``count`` messages.
+
+        Returns True if the condition was reached before ``timeout``
+        simulated seconds.  (Crashed processes are exempt: they stopped.)
+        """
+
+        def done() -> bool:
+            return all(
+                p.crashed or self.abcasts[pid].delivered_count() >= count
+                for pid, p in self.processes.items()
+            )
+
+        self.engine.run(until=timeout, max_events=max_events, stop_when=done)
+        return done()
+
+    def correct_processes(self) -> frozenset[ProcessId]:
+        """Processes that have not crashed so far."""
+        return frozenset(
+            pid for pid, p in self.processes.items() if not p.crashed
+        )
+
+
+def build_system(spec: StackSpec, crashes: CrashSchedule | None = None) -> System:
+    """Assemble a complete system from ``spec`` (and arm ``crashes``)."""
+    consensus_cls = _CONSENSUS_CLASSES[spec.consensus]
+    abcast_cls, _allowed = _ABCAST_VARIANTS[spec.abcast]
+
+    f = spec.f
+    if f is None:
+        # Default to the algorithm's maximum tolerance at this n.
+        f = consensus_cls.resilience_bound(SystemConfig(n=spec.n, f=0))
+    config = SystemConfig(n=spec.n, f=f)
+
+    crashes = crashes or CrashSchedule.none()
+    if spec.enforce_resilience:
+        crashes.validate_against(config)
+
+    engine = Engine()
+    trace = Trace()
+    rngs = RngRegistry(seed=spec.seed)
+
+    if spec.network == "contention":
+        network: ConstantLatencyNetwork | ContentionNetwork = ContentionNetwork(
+            engine,
+            spec.params,
+            drop_in_flight_of_crashed_sender=spec.drop_in_flight_on_crash,
+        )
+    else:
+        network = ConstantLatencyNetwork(
+            engine,
+            base=spec.constant_latency,
+            jitter=0.0,
+            delay_fn=spec.delay_fn,
+            drop_in_flight_of_crashed_sender=spec.drop_in_flight_on_crash,
+        )
+
+    processes = {
+        pid: SimProcess(pid, engine, trace) for pid in config.processes
+    }
+    transports = {
+        pid: Transport(processes[pid], network) for pid in config.processes
+    }
+
+    if spec.fd == "oracle":
+        detectors = wire_oracle_detectors(
+            processes,
+            detection_delay=spec.fd_detection_delay,
+            false_suspicions=spec.false_suspicions,
+        )
+    else:
+        detectors = wire_heartbeat_detectors(
+            transports,
+            interval=spec.heartbeat_interval,
+            timeout=spec.heartbeat_timeout,
+        )
+
+    broadcasts: dict[ProcessId, object] = {}
+    consensuses: dict[ProcessId, object] = {}
+    system = System(
+        spec=spec,
+        config=config,
+        engine=engine,
+        trace=trace,
+        rngs=rngs,
+        network=network,
+        processes=processes,
+        transports=transports,
+        detectors=detectors,
+        broadcasts=broadcasts,
+        consensuses=consensuses,
+    )
+
+    codec = MESSAGE_SET_CODEC if spec.abcast == "on-messages" else ID_SET_CODEC
+    for pid in config.processes:
+        transport = transports[pid]
+        if spec.abcast == "urb-ids":
+            broadcast = UniformReliableBroadcast(transport, config)
+        elif spec.rb == "flood":
+            broadcast = FloodReliableBroadcast(transport)
+        else:
+            broadcast = SenderReliableBroadcast(transport, detectors[pid])
+        broadcasts[pid] = broadcast
+
+        charge_rcv = None
+        if isinstance(network, ContentionNetwork):
+            charge_rcv = (
+                lambda lookups, _pid=pid: network.charge_rcv_lookups(_pid, lookups)
+            )
+        extra_kwargs = {}
+        if spec.consensus in ("ct", "ct-indirect"):
+            extra_kwargs["missing_policy"] = spec.ct_missing_policy
+        consensus = consensus_cls(
+            transport,
+            config,
+            detectors[pid],
+            codec,
+            charge_rcv=charge_rcv,
+            enforce_resilience=spec.enforce_resilience,
+            **extra_kwargs,
+        )
+        consensuses[pid] = consensus
+        system.abcasts[pid] = abcast_cls(
+            transport, broadcast, consensus, config, batch_cap=spec.batch_cap
+        )
+
+    crashes.apply(engine, processes)
+    return system

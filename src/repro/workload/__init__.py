@@ -1,0 +1,12 @@
+"""Workload generation for the performance experiments.
+
+The paper uses "a simple symmetric workload ... all processes abroadcast
+messages at the same rate and the global rate is called the throughput".
+:class:`~repro.workload.generators.SymmetricWorkload` reproduces it:
+every process abroadcasts at ``throughput / n`` messages per second,
+with Poisson (default) or evenly spaced arrivals, for a fixed duration.
+"""
+
+from repro.workload.generators import SymmetricWorkload
+
+__all__ = ["SymmetricWorkload"]

@@ -1,0 +1,99 @@
+"""Workload generators.
+
+All generators schedule ``abroadcast`` calls on a built
+:class:`~repro.stack.builder.System`; they draw inter-arrival times from
+the system's named RNG streams, so the arrival pattern is reproducible
+and independent of any other randomness in the run.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.message import make_payload
+from repro.stack.builder import System
+
+
+class SymmetricWorkload:
+    """The paper's symmetric workload.
+
+    Every process abroadcasts at ``throughput / n`` messages per second.
+    Inter-arrival times are exponential (``arrivals="poisson"``, an
+    open-loop memoryless source) or fixed (``arrivals="uniform"``, with
+    per-process phase offsets so the senders do not fire in lockstep).
+
+    Args:
+        system: The built system to drive.
+        throughput: Global abroadcast rate, messages per second.
+        payload_size: Payload of every message, in bytes (the paper
+            sweeps 1 B .. 5000 B).
+        duration: Sending window in simulated seconds; messages are
+            scheduled in ``[start, start + duration)``.
+        start: Start of the sending window.
+        arrivals: ``"poisson"`` or ``"uniform"``.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        throughput: float,
+        payload_size: int,
+        duration: float,
+        start: float = 0.0,
+        arrivals: str = "poisson",
+    ) -> None:
+        if throughput <= 0:
+            raise ConfigurationError("throughput must be > 0")
+        if duration <= 0:
+            raise ConfigurationError("duration must be > 0")
+        if arrivals not in ("poisson", "uniform"):
+            raise ConfigurationError(f"unknown arrival process {arrivals!r}")
+        self.system = system
+        self.throughput = throughput
+        self.payload_size = payload_size
+        self.duration = duration
+        self.start = start
+        self.arrivals = arrivals
+        #: Number of abroadcasts issued so far.
+        self.sent = 0
+
+    def install(self) -> int:
+        """Pre-schedule every abroadcast; returns the number scheduled.
+
+        Scheduling everything up front (rather than chaining timers)
+        keeps the generator trivially deterministic and lets callers
+        know the exact offered load of the run.
+        """
+        n = self.system.config.n
+        per_process_rate = self.throughput / n
+        scheduled = 0
+        for pid in self.system.config.processes:
+            rng = self.system.rngs.stream(f"workload.p{pid}")
+            if self.arrivals == "poisson":
+                t = self.start + rng.expovariate(per_process_rate)
+                while t < self.start + self.duration:
+                    self._schedule_send(pid, t)
+                    scheduled += 1
+                    t += rng.expovariate(per_process_rate)
+            else:
+                interval = 1.0 / per_process_rate
+                phase = rng.uniform(0.0, interval)
+                t = self.start + phase
+                while t < self.start + self.duration:
+                    self._schedule_send(pid, t)
+                    scheduled += 1
+                    t += interval
+        return scheduled
+
+    def _schedule_send(self, pid: int, time: float) -> None:
+        abcast = self.system.abcasts[pid]
+
+        def send() -> None:
+            abcast.abroadcast(make_payload(self.payload_size))
+            self.sent += 1
+
+        self.system.processes[pid].schedule_at(time, send)
+
+    @property
+    def end(self) -> float:
+        """End of the sending window."""
+        return self.start + self.duration

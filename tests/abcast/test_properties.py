@@ -1,0 +1,97 @@
+"""Property-based full-stack tests.
+
+Hypothesis randomizes the stack variant, group size, workload, crash
+schedule (within the resilience bound) and seed; after every run the
+complete atomic-broadcast property set must hold, and for the indirect
+stacks the indirect-consensus No loss / v-stability obligations as well.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CrashSchedule, StackSpec, SymmetricWorkload, build_system
+from repro.checkers.abcast import AbcastChecker
+from repro.checkers.broadcast import BroadcastChecker
+from repro.checkers.consensus import ConsensusChecker
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+CORRECT_STACKS = [
+    ("indirect", "ct-indirect"),
+    ("indirect", "mr-indirect"),
+    ("urb-ids", "ct"),
+    ("on-messages", "ct"),
+]
+
+
+@st.composite
+def full_stack_scenario(draw):
+    abcast, consensus = draw(st.sampled_from(CORRECT_STACKS))
+    n = draw(st.integers(3, 5))
+    rb = draw(st.sampled_from(["flood", "sender"]))
+    if abcast == "urb-ids":
+        rb = "flood"
+    seed = draw(st.integers(0, 10_000))
+    payload = draw(st.integers(1, 2000))
+    throughput = draw(st.sampled_from([40.0, 120.0, 300.0]))
+    spec = StackSpec(
+        n=n, abcast=abcast, consensus=consensus, rb=rb, seed=seed,
+        fd_detection_delay=10e-3,
+    )
+    # Crash up to f processes (per the *selected algorithm's* bound,
+    # which build_system derives as the default f).
+    from repro.stack.builder import _CONSENSUS_CLASSES
+    from repro.core.config import SystemConfig
+    bound = _CONSENSUS_CLASSES[consensus].resilience_bound(SystemConfig(n=n))
+    crash_count = draw(st.integers(0, bound))
+    pids = draw(
+        st.lists(st.integers(1, n), min_size=crash_count,
+                 max_size=crash_count, unique=True)
+    )
+    times = draw(
+        st.lists(st.floats(0.01, 0.3), min_size=crash_count,
+                 max_size=crash_count)
+    )
+    return spec, tuple(zip(pids, times)), throughput, payload
+
+
+@SLOW
+@given(full_stack_scenario())
+def test_correct_stacks_hold_all_properties(scenario):
+    spec, crashes, throughput, payload = scenario
+    system = build_system(spec, CrashSchedule.of(*crashes))
+    SymmetricWorkload(
+        system, throughput=throughput, payload_size=payload, duration=0.3
+    ).install()
+    system.run(until=6.0, max_events=10_000_000)
+
+    AbcastChecker(system.trace, system.config).check_all()
+    BroadcastChecker(system.trace, system.config).check_all(
+        uniform=(spec.abcast == "urb-ids")
+    )
+    consensus_checks = dict(no_loss=False, v_stability=False)
+    if spec.consensus.endswith("indirect"):
+        consensus_checks = dict(no_loss=True, v_stability=True)
+    ConsensusChecker(system.trace, system.config).check_all(**consensus_checks)
+
+
+@SLOW
+@given(
+    seed=st.integers(0, 10_000),
+    throughput=st.sampled_from([100.0, 600.0]),
+    payload=st.integers(1, 3000),
+)
+def test_faulty_stack_is_safe_without_crashes(seed, throughput, payload):
+    """Without crashes even the faulty stack satisfies every property —
+    the point of Figures 3-4 using it as a fair performance baseline."""
+    spec = StackSpec(n=3, abcast="faulty-ids", consensus="ct", seed=seed)
+    system = build_system(spec)
+    SymmetricWorkload(
+        system, throughput=throughput, payload_size=payload, duration=0.25
+    ).install()
+    system.run(until=5.0, max_events=10_000_000)
+    AbcastChecker(system.trace, system.config).check_all()

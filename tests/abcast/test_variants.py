@@ -1,0 +1,176 @@
+"""Behavioural tests for the four atomic broadcast stacks."""
+
+import pytest
+
+from repro import (
+    CrashSchedule,
+    StackSpec,
+    SymmetricWorkload,
+    build_system,
+    check_abcast,
+    make_payload,
+)
+from repro.core.exceptions import ConfigurationError
+
+ALL_STACKS = [
+    ("indirect", "ct-indirect", "flood"),
+    ("indirect", "ct-indirect", "sender"),
+    ("indirect", "mr-indirect", "flood"),
+    ("faulty-ids", "ct", "flood"),
+    ("faulty-ids", "mr", "flood"),
+    ("urb-ids", "ct", "flood"),
+    ("urb-ids", "mr", "flood"),
+    ("on-messages", "ct", "flood"),
+    ("on-messages", "mr", "flood"),
+]
+
+
+@pytest.mark.parametrize("abcast,consensus,rb", ALL_STACKS)
+class TestFailureFreeRuns:
+    def test_total_order_and_agreement(self, abcast, consensus, rb):
+        spec = StackSpec(n=3, abcast=abcast, consensus=consensus, rb=rb, seed=2)
+        system = build_system(spec)
+        SymmetricWorkload(
+            system, throughput=120, payload_size=100, duration=0.4
+        ).install()
+        system.run(until=1.5, max_events=3_000_000)
+        check_abcast(system.trace, system.config)
+        sequences = {
+            pid: tuple(system.trace.adelivery_sequence(pid))
+            for pid in system.config.processes
+        }
+        assert len(set(sequences.values())) == 1
+        assert len(sequences[1]) > 30
+
+    def test_every_sender_contributes(self, abcast, consensus, rb):
+        spec = StackSpec(n=3, abcast=abcast, consensus=consensus, rb=rb, seed=9)
+        system = build_system(spec)
+        for pid in (1, 2, 3):
+            system.processes[pid].schedule_at(
+                0.001 * pid,
+                lambda _pid=pid: system.abcasts[_pid].abroadcast(
+                    make_payload(10, content=f"from-{_pid}")
+                ),
+            )
+        assert system.run_until_delivered(count=3, timeout=2.0)
+        origins = {mid.origin for mid in system.trace.adelivery_sequence(1)}
+        assert origins == {1, 2, 3}
+
+
+class TestDeliveryContent:
+    def test_payload_content_travels_through_the_stack(self):
+        spec = StackSpec(n=3, abcast="indirect", consensus="ct-indirect")
+        system = build_system(spec)
+        got = []
+        system.abcasts[2].on_adeliver(lambda m: got.append(m.payload.content))
+        system.abcasts[1].abroadcast(make_payload(16, content={"cmd": "inc"}))
+        system.run_until_delivered(count=1, timeout=2.0)
+        assert got == [{"cmd": "inc"}]
+
+    def test_abroadcast_returns_message_with_fresh_id(self):
+        spec = StackSpec(n=3)
+        system = build_system(spec)
+        a = system.abcasts[1].abroadcast(make_payload(1))
+        b = system.abcasts[1].abroadcast(make_payload(1))
+        assert a.mid != b.mid
+        assert a.mid.origin == 1
+
+    def test_crashed_process_cannot_abroadcast(self):
+        spec = StackSpec(n=3)
+        system = build_system(spec)
+        system.processes[1].crash()
+        assert system.abcasts[1].abroadcast(make_payload(1)) is None
+
+
+class TestCrashRuns:
+    @pytest.mark.parametrize(
+        "abcast,consensus,n",
+        [
+            ("indirect", "ct-indirect", 3),
+            ("indirect", "mr-indirect", 4),
+            ("urb-ids", "ct", 3),
+            ("on-messages", "ct", 3),
+        ],
+    )
+    def test_correct_stacks_survive_a_crash(self, abcast, consensus, n):
+        spec = StackSpec(n=n, abcast=abcast, consensus=consensus, seed=6)
+        system = build_system(spec, CrashSchedule.single(2, 0.08))
+        SymmetricWorkload(
+            system, throughput=100, payload_size=60, duration=0.4
+        ).install()
+        system.run(until=3.0, max_events=5_000_000)
+        check_abcast(system.trace, system.config)
+        survivors = [p for p in system.config.processes if p != 2]
+        counts = {p: system.abcasts[p].delivered_count() for p in survivors}
+        assert min(counts.values()) > 20
+        assert len({tuple(system.trace.adelivery_sequence(p)) for p in survivors}) == 1
+
+    def test_crash_of_all_but_majority_still_delivers(self):
+        spec = StackSpec(n=5, abcast="indirect", consensus="ct-indirect", seed=8)
+        system = build_system(spec, CrashSchedule.of((2, 0.05), (4, 0.09)))
+        SymmetricWorkload(
+            system, throughput=80, payload_size=40, duration=0.4
+        ).install()
+        system.run(until=4.0, max_events=8_000_000)
+        check_abcast(system.trace, system.config)
+
+
+class TestStackSpecValidation:
+    def test_indirect_stack_requires_indirect_consensus(self):
+        with pytest.raises(ConfigurationError):
+            StackSpec(n=3, abcast="indirect", consensus="ct")
+
+    def test_faulty_stack_requires_original_consensus(self):
+        with pytest.raises(ConfigurationError):
+            StackSpec(n=3, abcast="faulty-ids", consensus="ct-indirect")
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StackSpec(n=3, abcast="quantum")
+
+    def test_unknown_consensus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StackSpec(n=3, abcast="urb-ids", consensus="paxos")
+
+    def test_mr_indirect_defaults_to_third_resilience(self):
+        system = build_system(StackSpec(n=4, abcast="indirect", consensus="mr-indirect"))
+        assert system.config.f == 1
+        system = build_system(StackSpec(n=3, abcast="indirect", consensus="mr-indirect"))
+        assert system.config.f == 0
+
+    def test_over_f_crash_schedule_rejected(self):
+        from repro.core.exceptions import ResilienceExceededError
+        spec = StackSpec(n=3, abcast="indirect", consensus="ct-indirect")
+        with pytest.raises(ResilienceExceededError):
+            build_system(spec, CrashSchedule.of((1, 0.1), (2, 0.1)))
+
+
+class TestBatching:
+    def test_high_rate_batches_messages_per_instance(self):
+        """At high throughput the reduction orders many messages per
+        consensus execution — the batching the paper's throughput curves
+        depend on."""
+        spec = StackSpec(n=3, seed=3)
+        system = build_system(spec)
+        SymmetricWorkload(
+            system, throughput=2000, payload_size=10, duration=0.2
+        ).install()
+        system.run(until=1.5, max_events=3_000_000)
+        check_abcast(system.trace, system.config)
+        messages = len(system.trace.adelivery_sequence(1))
+        instances = len(system.trace.instances())
+        assert messages / max(instances, 1) > 1.5
+
+    def test_backlog_drains_after_burst(self):
+        spec = StackSpec(n=3, seed=3)
+        system = build_system(spec)
+        for i in range(50):
+            system.abcasts[1].abroadcast(make_payload(10))
+        system.run(until=2.0, max_events=3_000_000)
+        for abcast in system.abcasts.values():
+            assert abcast.delivered_count() == 50
+            assert abcast.backlog() == {
+                "unordered": 0,
+                "ordered_awaiting_message": 0,
+                "pending_decisions": 0,
+            }

@@ -1,0 +1,75 @@
+"""Tests for the Figure-2 quorum-intersection arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ConfigurationError
+from repro.consensus.quorums import (
+    adoption_threshold,
+    intersection_lower_bound,
+    max_resilience_for_intersection,
+    phase2_quorum,
+)
+
+
+class TestPaperValues:
+    def test_figure2_example(self):
+        """The paper's illustration: n=7, f=2 — two 5-element quorums
+        share at least 3 = n - 2f processes."""
+        assert intersection_lower_bound(7, 2) == 3
+        assert max_resilience_for_intersection(7) == 2
+        assert phase2_quorum(7) == 5
+        assert adoption_threshold(7) == 3
+
+    @pytest.mark.parametrize(
+        "n,quorum", [(3, 3), (4, 3), (5, 4), (6, 5), (7, 5), (10, 7)]
+    )
+    def test_phase2_quorum(self, n, quorum):
+        assert phase2_quorum(n) == quorum
+
+    @pytest.mark.parametrize("n,f", [(3, 0), (4, 1), (6, 1), (7, 2), (10, 3)])
+    def test_max_resilience(self, n, f):
+        assert max_resilience_for_intersection(n) == f
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            phase2_quorum(0)
+        with pytest.raises(ConfigurationError):
+            intersection_lower_bound(3, 3)
+        with pytest.raises(ConfigurationError):
+            intersection_lower_bound(3, 1, quorum=0)
+
+
+class TestIntersectionTheorem:
+    @given(st.integers(1, 300))
+    def test_n_minus_2f_at_max_resilience_reaches_f_plus_1(self, n):
+        """The inequality that drives the resilience drop: at
+        f = max_resilience, n - 2f >= f + 1; at f + 1 it fails."""
+        f = max_resilience_for_intersection(n)
+        assert intersection_lower_bound(n, f) >= f + 1
+        if f + 1 < n:
+            assert intersection_lower_bound(n, f + 1) < (f + 1) + 1
+
+    @given(st.integers(2, 300), st.data())
+    def test_lower_bound_is_tight(self, n, data):
+        """The pigeonhole bound 2q - n is achieved by actual sets."""
+        f = data.draw(st.integers(0, n - 1))
+        quorum = n - f
+        a = set(range(quorum))            # first q elements
+        b = set(range(n - quorum, n))     # last q elements
+        assert len(a & b) == intersection_lower_bound(n, f)
+
+    @given(st.integers(1, 300))
+    def test_phase2_quorums_intersect_in_adoption_threshold(self, n):
+        """Any two ⌈(2n+1)/3⌉-quorums share ⌈(n+1)/3⌉ processes — the
+        agreement mechanism of Algorithm 3."""
+        q = phase2_quorum(n)
+        assert 2 * q - n >= adoption_threshold(n)
+
+    @given(st.integers(1, 300))
+    def test_adoption_threshold_exceeds_f(self, n):
+        """⌈(n+1)/3⌉ >= f + 1 under f < n/3: a value echoed that often
+        was echoed by at least one correct process."""
+        f = max_resilience_for_intersection(n)
+        assert adoption_threshold(n) >= f + 1

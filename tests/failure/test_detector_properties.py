@@ -1,0 +1,75 @@
+"""Property-based tests for the failure detectors.
+
+The two ◇S obligations, under randomized crash patterns:
+
+* **Strong completeness** — every crashed process is eventually
+  suspected by every correct process.
+* **Eventual accuracy** (oracle detector: outright accuracy after the
+  scripted mistakes end) — live processes end up unsuspected.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.failure.heartbeat import HeartbeatFailureDetector
+from tests.helpers import make_fabric
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def crash_pattern(draw):
+    n = draw(st.integers(2, 6))
+    crash_count = draw(st.integers(0, n - 1))
+    pids = draw(
+        st.lists(st.integers(1, n), min_size=crash_count,
+                 max_size=crash_count, unique=True)
+    )
+    times = [draw(st.floats(0.01, 0.3)) for _ in pids]
+    return n, list(zip(pids, times))
+
+
+@SLOW
+@given(crash_pattern())
+def test_oracle_detector_completeness_and_accuracy(pattern):
+    n, crashes = pattern
+    fabric = make_fabric(n, f=n - 1, detection_delay=20e-3)
+    for pid, at in crashes:
+        fabric.crash(pid, at=at)
+    fabric.run(until=1.0)
+    crashed = {pid for pid, _ in crashes}
+    for pid, detector in fabric.detectors.items():
+        if pid in crashed:
+            continue
+        # Completeness: every crashed peer suspected...
+        assert crashed - {pid} <= detector.suspects()
+        # Accuracy: ...and nobody else.
+        assert detector.suspects() <= crashed
+
+
+@SLOW
+@given(crash_pattern())
+def test_heartbeat_detector_completeness_and_eventual_accuracy(pattern):
+    n, crashes = pattern
+    fabric = make_fabric(n, f=n - 1, latency=1e-3)
+    detectors = {
+        pid: HeartbeatFailureDetector(
+            fabric.transports[pid], interval=10e-3, timeout=60e-3
+        )
+        for pid in fabric.config.processes
+    }
+    for pid, at in crashes:
+        fabric.crash(pid, at=at)
+    fabric.run(until=2.0, max_events=3_000_000)
+    crashed = {pid for pid, _ in crashes}
+    for pid, detector in detectors.items():
+        if pid in crashed:
+            continue
+        assert crashed - {pid} <= detector.suspects()
+        # With constant latency well under the timeout there are no
+        # false suspicions to retract at quiescence.
+        assert detector.suspects() <= crashed

@@ -1,0 +1,146 @@
+"""Tests for crash schedules and failure detectors."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.exceptions import ConfigurationError, ResilienceExceededError
+from repro.failure.crash import CrashSchedule
+from repro.failure.detector import FalseSuspicion, StaticFailureDetector
+from repro.failure.heartbeat import HeartbeatFailureDetector
+from tests.helpers import make_fabric
+
+
+class TestCrashSchedule:
+    def test_none_is_empty(self):
+        assert CrashSchedule.none().faulty == frozenset()
+
+    def test_single_and_of(self):
+        s = CrashSchedule.of((2, 0.5), (3, 1.0))
+        assert s.faulty == {2, 3}
+        assert s.crash_time(2) == 0.5
+        assert s.crash_time(1) is None
+
+    def test_rejects_duplicate_crash(self):
+        with pytest.raises(ConfigurationError):
+            CrashSchedule.of((2, 0.5), (2, 1.0))
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            CrashSchedule.single(1, -0.5)
+
+    def test_validate_against_resilience(self):
+        config = SystemConfig(n=3, f=1)
+        CrashSchedule.single(2, 0.1).validate_against(config)
+        with pytest.raises(ResilienceExceededError):
+            CrashSchedule.of((1, 0.1), (2, 0.2)).validate_against(config)
+
+    def test_validate_rejects_unknown_process(self):
+        with pytest.raises(ConfigurationError):
+            CrashSchedule.single(9, 0.1).validate_against(SystemConfig(n=3))
+
+    def test_apply_crashes_at_the_right_time(self):
+        fabric = make_fabric(3)
+        CrashSchedule.single(2, 0.4).apply(fabric.engine, fabric.processes)
+        fabric.run(until=0.3)
+        assert not fabric.processes[2].crashed
+        fabric.run(until=0.5)
+        assert fabric.processes[2].crashed
+
+
+class TestOracleDetector:
+    def test_suspects_after_detection_delay(self):
+        fabric = make_fabric(3, detection_delay=20e-3)
+        fabric.crash(2, at=0.1)
+        fabric.run(until=0.11)
+        assert not fabric.detectors[1].is_suspected(2)
+        fabric.run(until=0.13)
+        assert fabric.detectors[1].is_suspected(2)
+        assert fabric.detectors[3].is_suspected(2)
+
+    def test_never_suspects_live_processes(self):
+        fabric = make_fabric(3)
+        fabric.run(until=1.0)
+        for pid, detector in fabric.detectors.items():
+            assert detector.suspects() == frozenset()
+
+    def test_rejects_zero_delay(self):
+        from repro.failure.detector import OracleFailureDetector
+        fabric = make_fabric(2)
+        with pytest.raises(ConfigurationError):
+            OracleFailureDetector(fabric.processes[1], detection_delay=0.0)
+
+    def test_scripted_false_suspicion_raises_and_retracts(self):
+        fs = FalseSuspicion(observer=1, target=2, start=0.1, end=0.2)
+        fabric = make_fabric(3, false_suspicions=(fs,))
+        fabric.run(until=0.15)
+        assert fabric.detectors[1].is_suspected(2)
+        assert not fabric.detectors[3].is_suspected(2)  # only the observer errs
+        fabric.run(until=0.25)
+        assert not fabric.detectors[1].is_suspected(2)
+        assert fabric.detectors[1].suspicions_retracted == 1
+
+    def test_false_suspicion_validation(self):
+        with pytest.raises(ConfigurationError):
+            FalseSuspicion(observer=1, target=2, start=0.5, end=0.5)
+
+    def test_change_listeners_fire(self):
+        fabric = make_fabric(2, detection_delay=10e-3)
+        changes = []
+        fabric.detectors[1].on_change(lambda: changes.append(fabric.engine.now))
+        fabric.crash(2, at=0.1)
+        fabric.run(until=0.2)
+        assert changes == [pytest.approx(0.11)]
+
+
+class TestStaticDetector:
+    def test_initial_set_and_mutation(self):
+        fabric = make_fabric(2)
+        detector = StaticFailureDetector(fabric.processes[1], frozenset({2}))
+        assert detector.is_suspected(2)
+        detector.force_trust(2)
+        assert not detector.is_suspected(2)
+        detector.force_suspect(2)
+        assert detector.is_suspected(2)
+
+
+class TestHeartbeatDetector:
+    def make(self, n=3, **kwargs):
+        fabric = make_fabric(n, latency=1e-3)
+        detectors = {
+            pid: HeartbeatFailureDetector(fabric.transports[pid], **kwargs)
+            for pid in fabric.config.processes
+        }
+        return fabric, detectors
+
+    def test_no_suspicion_in_quiet_network(self):
+        fabric, detectors = self.make(interval=10e-3, timeout=50e-3)
+        fabric.run(until=1.0)
+        for detector in detectors.values():
+            assert detector.suspects() == frozenset()
+
+    def test_crashed_process_is_suspected(self):
+        fabric, detectors = self.make(interval=10e-3, timeout=50e-3)
+        fabric.crash(3, at=0.2)
+        fabric.run(until=0.5)
+        assert detectors[1].is_suspected(3)
+        assert detectors[2].is_suspected(3)
+
+    def test_suspicion_latency_is_bounded_by_timeout(self):
+        fabric, detectors = self.make(interval=10e-3, timeout=50e-3)
+        fabric.crash(3, at=0.2)
+        fabric.run(until=0.2 + 50e-3 + 3 * 10e-3)
+        assert detectors[1].is_suspected(3)
+
+    def test_validation(self):
+        fabric = make_fabric(2)
+        with pytest.raises(ConfigurationError):
+            HeartbeatFailureDetector(fabric.transports[1], interval=0.0)
+        with pytest.raises(ConfigurationError):
+            HeartbeatFailureDetector(
+                fabric.transports[1], interval=20e-3, timeout=10e-3
+            )
+
+    def test_heartbeats_flow_on_the_network(self):
+        fabric, _ = self.make(interval=10e-3, timeout=50e-3)
+        fabric.run(until=0.1)
+        assert fabric.network.total_frames("fd.heartbeat") > 0

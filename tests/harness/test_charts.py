@@ -1,0 +1,69 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.harness.charts import GLYPHS, render_chart, render_figure_charts
+from repro.harness.figures import FigureData, Series
+
+
+def series(label, points):
+    s = Series(label=label)
+    s.points = points
+    return s
+
+
+class TestRenderChart:
+    def test_empty_series(self):
+        assert render_chart([series("a", [])]) == "(no data)"
+
+    def test_contains_axes_legend_and_glyphs(self):
+        chart = render_chart(
+            [series("fast", [(0, 1.0), (100, 2.0)]),
+             series("slow", [(0, 2.0), (100, 8.0)])],
+            width=40,
+            height=8,
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "* = fast" in chart
+        assert "o = slow" in chart
+        assert "+" + "-" * 40 in chart
+        assert "8 ms" in chart  # y-axis top label
+        assert "0" in chart and "100" in chart  # x-axis labels
+
+    def test_monotone_series_renders_monotone_rows(self):
+        chart = render_chart(
+            [series("up", [(0, 0.0), (50, 5.0), (100, 10.0)])],
+            width=20,
+            height=10,
+        )
+        rows = [line for line in chart.splitlines() if line.startswith("|")]
+        cols = []
+        for row_index, row in enumerate(rows):
+            for col_index, ch in enumerate(row):
+                if ch == "*":
+                    cols.append((col_index, row_index))
+        cols.sort()
+        # As x grows (columns increase), the row index must not increase
+        # (higher latency = nearer the top).
+        row_sequence = [r for _, r in cols]
+        assert row_sequence == sorted(row_sequence, reverse=True)
+
+    def test_single_point(self):
+        chart = render_chart([series("dot", [(5, 3.0)])], width=10, height=5)
+        grid_rows = [line for line in chart.splitlines() if line.startswith("|")]
+        assert sum(row.count("*") for row in grid_rows) == 1
+
+    def test_glyph_cycling(self):
+        many = [series(f"s{i}", [(i, float(i + 1))]) for i in range(8)]
+        chart = render_chart(many, width=30, height=8)
+        for i in range(8):
+            assert f"{GLYPHS[i % len(GLYPHS)]} = s{i}" in chart
+
+
+class TestRenderFigureCharts:
+    def test_renders_every_panel(self):
+        fig = FigureData(fig_id="figX", title="T", xlabel="bytes")
+        fig.panels["p1"] = [series("a", [(1, 1.0), (2, 2.0)])]
+        fig.panels["p2"] = [series("b", [(1, 3.0), (2, 1.0)])]
+        out = render_figure_charts(fig, width=20, height=6)
+        assert "figX" in out
+        assert "-- p1 --" in out and "-- p2 --" in out

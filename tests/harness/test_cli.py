@@ -1,0 +1,24 @@
+"""Tests for the ``python -m repro.harness`` command-line interface."""
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestCli:
+    def test_figure2_is_cheap_and_correct(self, capsys):
+        assert main(["--figure", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2 arithmetic" in out
+        assert "f_max (indirect MR)" in out
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--figure", "99"])
+
+    def test_single_quick_figure_runs(self, capsys):
+        assert main(["--figure", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "Indirect consensus" in out
+        assert "done in" in out

@@ -1,0 +1,100 @@
+"""Tests for the experiment runner and the figure/report machinery."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentSpec, run_experiment
+from repro.harness.figures import Series, figure2_table
+from repro.harness.report import crossover_summary, render_figure, render_table
+from repro.net.setups import SETUP_1
+from repro.stack.builder import StackSpec
+
+
+def quick_spec(**overrides):
+    defaults = dict(
+        name="unit",
+        stack=StackSpec(n=3, params=SETUP_1, fd="oracle", seed=0),
+        throughput=200.0,
+        payload=64,
+        duration=0.3,
+        warmup=0.05,
+        drain=0.5,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestRunExperiment:
+    def test_produces_consistent_result(self):
+        result = run_experiment(quick_spec())
+        assert result.sent > 30
+        assert result.undelivered == 0
+        assert result.mean_latency_ms > 0.5  # network floor
+        assert result.instances_decided > 0
+        assert result.latency.messages_fully_delivered > 0
+        assert result.frames_total > result.sent
+
+    def test_repeatable(self):
+        a = run_experiment(quick_spec())
+        b = run_experiment(quick_spec())
+        assert a.mean_latency_ms == b.mean_latency_ms
+        assert a.sent == b.sent
+
+    def test_row_summary(self):
+        row = run_experiment(quick_spec()).row()
+        assert set(row) == {
+            "name", "throughput", "payload", "latency_ms", "p90_ms",
+            "sent", "undelivered",
+        }
+
+    def test_data_vs_control_byte_split(self):
+        big = run_experiment(quick_spec(payload=2000))
+        small = run_experiment(quick_spec(payload=1))
+        assert big.data_bytes > small.data_bytes * 5
+        # Control traffic (consensus on ids) is payload-independent.
+        assert big.control_bytes == pytest.approx(small.control_bytes, rel=0.3)
+
+    def test_safety_checks_run_by_default(self):
+        assert quick_spec().safety_checks is True
+
+
+class TestFigure2Table:
+    def test_contains_paper_example_row(self):
+        rows = {r["n"]: r for r in figure2_table()}
+        seven = rows[7]
+        assert seven["f_max (indirect MR)"] == 2
+        assert seven["phase2 quorum ⌈(2n+1)/3⌉"] == 5
+        assert seven["min overlap (n-2f)"] == 3
+        assert seven["f_max (original MR)"] == 3
+
+    def test_indirect_never_beats_original(self):
+        for row in figure2_table():
+            assert row["f_max (indirect MR)"] <= row["f_max (original MR)"]
+
+
+class TestReportRendering:
+    def test_render_table(self):
+        out = render_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}], title="T")
+        assert "T" in out
+        assert "a" in out and "b" in out
+        assert "22" in out
+
+    def test_render_empty_table(self):
+        assert render_table([]) == "(empty table)"
+
+    def test_render_figure_layout(self):
+        from repro.harness.figures import FigureData
+        fig = FigureData(fig_id="figX", title="demo", xlabel="bytes")
+        s = Series(label="A")
+        s.points = [(1, 1.5), (100, 2.5)]
+        fig.panels["panel-1"] = [s]
+        out = render_figure(fig)
+        assert "figX" in out and "panel-1" in out and "2.5" in out
+
+    def test_crossover_summary(self):
+        a = Series(label="fast")
+        a.points = [(1, 1.0), (2, 3.0)]
+        b = Series(label="slow")
+        b.points = [(1, 2.0), (2, 2.5)]
+        out = crossover_summary(a, b)
+        assert "x=1: fast" in out
+        assert "x=2: slow" in out

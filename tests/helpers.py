@@ -1,0 +1,101 @@
+"""Shared test fixtures: small fabrics and run helpers.
+
+Tests that exercise a single protocol layer (broadcast, consensus) build
+a *fabric* — engine, trace, processes, transports, oracle detectors —
+and mount only the layer under test, instead of a full stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.config import SystemConfig
+from repro.core.identifiers import MessageId, ProcessId
+from repro.core.message import AppMessage, make_payload
+from repro.failure.detector import FalseSuspicion, OracleFailureDetector, wire_oracle_detectors
+from repro.net.frame import Frame
+from repro.net.models import ConstantLatencyNetwork, ContentionNetwork, NetworkParams
+from repro.net.setups import SETUP_1
+from repro.net.transport import Transport
+from repro.sim.engine import Engine
+from repro.sim.process import SimProcess
+from repro.sim.trace import Trace
+
+
+@dataclass
+class Fabric:
+    """A bare simulated network of ``n`` processes with oracle detectors."""
+
+    config: SystemConfig
+    engine: Engine
+    trace: Trace
+    network: ConstantLatencyNetwork | ContentionNetwork
+    processes: dict[ProcessId, SimProcess]
+    transports: dict[ProcessId, Transport]
+    detectors: dict[ProcessId, OracleFailureDetector]
+    services: dict[ProcessId, object] = field(default_factory=dict)
+
+    def run(self, until: float = 10.0, max_events: int = 2_000_000) -> float:
+        return self.engine.run(until=until, max_events=max_events)
+
+    def crash(self, pid: ProcessId, at: float) -> None:
+        self.engine.schedule_at(at, self.processes[pid].crash)
+
+
+def make_fabric(
+    n: int,
+    f: int | None = None,
+    latency: float = 1e-3,
+    seed: int = 0,
+    detection_delay: float = 10e-3,
+    network_kind: str = "constant",
+    params: NetworkParams = SETUP_1,
+    drop_in_flight: bool = False,
+    delay_fn: Callable[[Frame], float | None] | None = None,
+    false_suspicions: tuple[FalseSuspicion, ...] = (),
+) -> Fabric:
+    """Build a bare fabric (no protocol layers mounted)."""
+    config = SystemConfig(n=n) if f is None else SystemConfig(n=n, f=f)
+    engine = Engine()
+    trace = Trace()
+    if network_kind == "constant":
+        network: ConstantLatencyNetwork | ContentionNetwork = ConstantLatencyNetwork(
+            engine,
+            base=latency,
+            delay_fn=delay_fn,
+            drop_in_flight_of_crashed_sender=drop_in_flight,
+        )
+    else:
+        network = ContentionNetwork(
+            engine, params, drop_in_flight_of_crashed_sender=drop_in_flight
+        )
+    processes = {pid: SimProcess(pid, engine, trace) for pid in config.processes}
+    transports = {pid: Transport(processes[pid], network) for pid in config.processes}
+    detectors = wire_oracle_detectors(
+        processes, detection_delay=detection_delay, false_suspicions=false_suspicions
+    )
+    return Fabric(
+        config=config,
+        engine=engine,
+        trace=trace,
+        network=network,
+        processes=processes,
+        transports=transports,
+        detectors=detectors,
+    )
+
+
+_mid_counter = [0]
+
+
+def fresh_mid(origin: int = 1) -> MessageId:
+    """A unique message id for value-level consensus tests."""
+    _mid_counter[0] += 1
+    return MessageId(origin=origin, seq=_mid_counter[0])
+
+
+def app_message(origin: int = 1, seq: int | None = None, size: int = 10) -> AppMessage:
+    """A small application message for broadcast-layer tests."""
+    mid = fresh_mid(origin) if seq is None else MessageId(origin, seq)
+    return AppMessage(mid=mid, sender=origin, payload=make_payload(size))

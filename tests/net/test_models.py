@@ -1,0 +1,185 @@
+"""Tests for the network models: delays, contention, crash semantics."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.net.frame import FRAME_HEADER_SIZE, Frame
+from repro.net.models import ConstantLatencyNetwork, ContentionNetwork, NetworkParams
+from repro.sim.engine import Engine
+from repro.sim.process import SimProcess
+from repro.sim.trace import Trace
+
+PARAMS = NetworkParams(
+    send_overhead=10e-6,
+    recv_overhead=10e-6,
+    cpu_per_byte=0.0,
+    wire_overhead=5e-6,
+    wire_per_byte=0.1e-6,
+    rcv_lookup_cost=1e-6,
+)
+
+
+def make_net(n=2, kind="constant", **kwargs):
+    engine = Engine()
+    trace = Trace()
+    if kind == "constant":
+        network = ConstantLatencyNetwork(engine, base=1e-3, **kwargs)
+    else:
+        network = ContentionNetwork(engine, PARAMS, **kwargs)
+    processes = {}
+    inboxes = {pid: [] for pid in range(1, n + 1)}
+    for pid in range(1, n + 1):
+        process = SimProcess(pid, engine, trace)
+        processes[pid] = process
+        network.attach(
+            process, lambda frame, _pid=pid: inboxes[_pid].append(frame)
+        )
+    return engine, network, processes, inboxes
+
+
+def frame(src=1, dst=2, size=100, kind="test.data", control=False):
+    return Frame(src=src, dst=dst, kind=kind, body="x", size=size, control=control)
+
+
+class TestParamsValidation:
+    def test_rejects_negative_constants(self):
+        with pytest.raises(ConfigurationError):
+            NetworkParams(-1e-6, 0, 0, 0, 0)
+
+    def test_constant_network_rejects_negative_base(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLatencyNetwork(Engine(), base=-1.0)
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLatencyNetwork(Engine(), jitter=1e-3)
+
+
+class TestConstantLatency:
+    def test_delivers_after_base_delay(self):
+        engine, network, _, inboxes = make_net()
+        network.send(frame())
+        engine.run_until_idle()
+        assert len(inboxes[2]) == 1
+        assert engine.now == pytest.approx(1e-3)
+
+    def test_per_byte_component(self):
+        engine, network, _, inboxes = make_net()
+        network.per_byte = 1e-6
+        f = frame(size=1000)
+        network.send(f)
+        engine.run_until_idle()
+        assert engine.now == pytest.approx(1e-3 + 1e-6 * f.wire_size())
+
+    def test_delay_fn_overrides(self):
+        engine, network, _, inboxes = make_net()
+        network.delay_fn = lambda fr: 5e-3 if not fr.control else None
+        network.send(frame(control=False))
+        network.send(frame(control=True))
+        engine.run(until=2e-3)
+        assert len(inboxes[2]) == 1  # control frame took the 1ms default
+        engine.run(until=10e-3)
+        assert len(inboxes[2]) == 2
+
+    def test_counters(self):
+        engine, network, _, _ = make_net()
+        f = frame(size=50)
+        network.send(f)
+        network.send(frame(size=70, kind="test.ctl"))
+        assert network.frames_sent == {"test.data": 1, "test.ctl": 1}
+        assert network.bytes_sent["test.data"] == 50 + FRAME_HEADER_SIZE
+        assert network.total_frames("test.") == 2
+
+    def test_unknown_endpoints_rejected(self):
+        _, network, _, _ = make_net()
+        with pytest.raises(ConfigurationError):
+            network.send(frame(src=9))
+        with pytest.raises(ConfigurationError):
+            network.send(frame(dst=9))
+
+
+class TestCrashSemantics:
+    def test_crashed_sender_sends_nothing(self):
+        engine, network, processes, inboxes = make_net()
+        processes[1].crash()
+        network.send(frame())
+        engine.run_until_idle()
+        assert inboxes[2] == []
+        assert network.frames_dropped == 1
+
+    def test_crashed_destination_drops_frame(self):
+        engine, network, processes, inboxes = make_net()
+        network.send(frame())
+        engine.schedule(0.5e-3, processes[2].crash)
+        engine.run_until_idle()
+        assert inboxes[2] == []
+
+    def test_in_flight_survives_sender_crash_by_default(self):
+        engine, network, processes, inboxes = make_net()
+        network.send(frame())
+        engine.schedule(0.5e-3, processes[1].crash)
+        engine.run_until_idle()
+        assert len(inboxes[2]) == 1
+
+    def test_in_flight_lost_with_drop_policy(self):
+        """The Section 2.2 scenario needs in-flight data of a crashed
+        sender to be lost (dead socket buffers)."""
+        engine, network, processes, inboxes = make_net(
+            drop_in_flight_of_crashed_sender=True
+        )
+        network.send(frame())
+        engine.schedule(0.5e-3, processes[1].crash)
+        engine.run_until_idle()
+        assert inboxes[2] == []
+
+
+class TestContention:
+    def test_pipeline_time_includes_all_stages(self):
+        engine, network, _, inboxes = make_net(kind="contention")
+        f = frame(size=100)
+        network.send(f)
+        engine.run_until_idle()
+        expected = (
+            PARAMS.send_overhead
+            + PARAMS.wire_overhead
+            + PARAMS.wire_per_byte * f.wire_size()
+            + PARAMS.recv_overhead
+        )
+        assert engine.now == pytest.approx(expected)
+
+    def test_medium_serialises_concurrent_senders(self):
+        engine, network, _, inboxes = make_net(n=3, kind="contention")
+        network.send(frame(src=1, dst=3, size=1000))
+        network.send(frame(src=2, dst=3, size=1000))
+        engine.run_until_idle()
+        wire_each = PARAMS.wire_overhead + PARAMS.wire_per_byte * (
+            1000 + FRAME_HEADER_SIZE
+        )
+        # Both senders' CPUs work in parallel, but the shared medium
+        # carries one frame at a time.
+        assert network.medium.busy_time == pytest.approx(2 * wire_each)
+        assert len(inboxes[3]) == 2
+
+    def test_sender_cpu_serialises_own_frames(self):
+        engine, network, processes, inboxes = make_net(n=3, kind="contention")
+        network.send(frame(src=1, dst=2))
+        network.send(frame(src=1, dst=3))
+        engine.run_until_idle()
+        assert processes[1].cpu.busy_time == pytest.approx(2 * PARAMS.send_overhead)
+
+    def test_loopback_skips_medium(self):
+        engine, network, _, inboxes = make_net(kind="contention")
+        network.send(frame(src=1, dst=1))
+        engine.run_until_idle()
+        assert len(inboxes[1]) == 1
+        assert network.medium.jobs_served == 0
+
+    def test_charge_rcv_lookups_occupies_cpu(self):
+        engine, network, processes, _ = make_net(kind="contention")
+        network.charge_rcv_lookups(1, lookups=10)
+        assert processes[1].cpu.busy_time == pytest.approx(10e-6)
+
+    def test_charge_zero_lookups_is_free(self):
+        engine, network, processes, _ = make_net(kind="contention")
+        network.charge_rcv_lookups(1, lookups=0)
+        assert processes[1].cpu.busy_time == 0.0

@@ -1,0 +1,87 @@
+"""Resilience boundaries: f < n/2 for CT(-indirect), f < n/3 for MR-indirect.
+
+The paper's second contribution is that the MR adaptation *costs*
+resilience.  These tests pin the boundary on both sides: the algorithms
+keep all their properties at their declared maximum f, and the
+configuration layer refuses anything beyond it.
+"""
+
+import pytest
+
+from repro import CrashSchedule, StackSpec, SymmetricWorkload, build_system, check_abcast
+from repro.checkers.consensus import ConsensusChecker
+from repro.consensus.ct_indirect import CTIndirectConsensus
+from repro.consensus.mr_indirect import MRIndirectConsensus
+from repro.core.config import SystemConfig
+from repro.core.exceptions import ResilienceExceededError
+
+
+class TestDeclaredBounds:
+    @pytest.mark.parametrize(
+        "n,ct_bound,mr_bound",
+        [(3, 1, 0), (4, 1, 1), (5, 2, 1), (6, 2, 1), (7, 3, 2), (9, 4, 2), (10, 4, 3)],
+    )
+    def test_bounds_follow_the_paper(self, n, ct_bound, mr_bound):
+        config = SystemConfig(n=n)
+        assert CTIndirectConsensus.resilience_bound(config) == ct_bound
+        assert MRIndirectConsensus.resilience_bound(config) == mr_bound
+
+    def test_mr_indirect_strictly_weaker_from_n3(self):
+        for n in range(3, 40):
+            config = SystemConfig(n=n)
+            assert (
+                MRIndirectConsensus.resilience_bound(config)
+                <= CTIndirectConsensus.resilience_bound(config)
+            )
+
+
+def survive_crashes(consensus: str, n: int, crash_pids: tuple[int, ...]) -> None:
+    spec = StackSpec(n=n, abcast="indirect", consensus=consensus, seed=5,
+                     fd_detection_delay=10e-3)
+    crashes = CrashSchedule.of(*[(pid, 0.05 + 0.02 * i) for i, pid in enumerate(crash_pids)])
+    system = build_system(spec, crashes)
+    SymmetricWorkload(system, throughput=80, payload_size=50, duration=0.4).install()
+    system.run(until=5.0, max_events=10_000_000)
+    check_abcast(system.trace, system.config)
+    ConsensusChecker(system.trace, system.config).check_all(
+        no_loss=True, v_stability=True
+    )
+    survivors = [p for p in system.config.processes if p not in crash_pids]
+    counts = [system.abcasts[p].delivered_count() for p in survivors]
+    # Crashed senders take their unsent share of the workload with them;
+    # what matters is that the surviving group kept ordering messages.
+    assert min(counts) >= 10
+    assert len(set(counts)) == 1
+
+
+class TestAtTheBoundary:
+    def test_ct_indirect_survives_two_of_five(self):
+        survive_crashes("ct-indirect", n=5, crash_pids=(2, 3))
+
+    def test_ct_indirect_survives_three_of_seven(self):
+        survive_crashes("ct-indirect", n=7, crash_pids=(2, 4, 6))
+
+    def test_mr_indirect_survives_one_of_four(self):
+        survive_crashes("mr-indirect", n=4, crash_pids=(2,))
+
+    def test_mr_indirect_survives_two_of_seven(self):
+        survive_crashes("mr-indirect", n=7, crash_pids=(2, 5))
+
+
+class TestBeyondTheBoundary:
+    def test_mr_indirect_rejects_two_of_five(self):
+        """n=5, f=2 is fine for CT-indirect but beyond MR-indirect's
+        f < n/3 bound — the library refuses the configuration."""
+        spec = StackSpec(n=5, abcast="indirect", consensus="mr-indirect", f=2)
+        with pytest.raises(ResilienceExceededError):
+            build_system(spec)
+
+    def test_ct_indirect_rejects_half(self):
+        spec = StackSpec(n=4, abcast="indirect", consensus="ct-indirect", f=2)
+        with pytest.raises(ResilienceExceededError):
+            build_system(spec)
+
+    def test_schedule_beyond_f_rejected_even_if_algorithm_allows_more(self):
+        spec = StackSpec(n=5, abcast="indirect", consensus="ct-indirect", f=1)
+        with pytest.raises(ResilienceExceededError):
+            build_system(spec, CrashSchedule.of((1, 0.1), (2, 0.1)))

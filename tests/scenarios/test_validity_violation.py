@@ -1,0 +1,127 @@
+"""Section 2.2: executing unmodified consensus on message identifiers
+violates the Validity property of atomic broadcast.
+
+The staged execution follows the paper's narrative exactly:
+
+* p2 (the round-1 coordinator of every instance) abroadcasts a large
+  message ``m``; its bulk data frames crawl while its consensus control
+  frames are fast (separate channels, deep socket buffers — routine on a
+  loaded LAN);
+* consensus decides ``id(m)`` — under the faulty stack the other
+  processes ack blindly, without holding ``m``;
+* p2 crashes; the in-flight copies of ``m`` die with its socket buffers;
+* ``id(m)`` cannot be removed from the total order, so every later
+  message (including ``m2`` from the *correct* p1) is blocked forever.
+
+The identical schedule is then replayed against the indirect stack
+(Algorithm 1 + Algorithm 2/3) and against URB + consensus: both deliver
+``m2`` — the rcv gate (resp. uniformity) refuses to order an identifier
+nobody can back.
+"""
+
+import pytest
+
+from repro import CrashSchedule, StackSpec, build_system, check_abcast, make_payload
+from repro.checkers.consensus import ConsensusChecker
+from repro.core.exceptions import ProtocolViolationError
+
+
+def staged_system(abcast: str, consensus: str, n: int = 3):
+    def delay_fn(frame):
+        if not frame.control and frame.src == 2:
+            return 50e-3  # p2's bulk data crawls
+        return 0.5e-3  # control traffic is quick
+
+    spec = StackSpec(
+        n=n,
+        abcast=abcast,
+        consensus=consensus,
+        network="constant",
+        delay_fn=delay_fn,
+        drop_in_flight_on_crash=True,
+        fd="oracle",
+        fd_detection_delay=10e-3,
+        seed=1,
+    )
+    system = build_system(spec, CrashSchedule.single(2, 2.5e-3))
+    system.processes[2].schedule_at(
+        0.0, lambda: system.abcasts[2].abroadcast(make_payload(4000, "m"))
+    )
+    system.processes[1].schedule_at(
+        0.2e-3, lambda: system.abcasts[1].abroadcast(make_payload(10, "m2"))
+    )
+    system.run(until=2.0, max_events=2_000_000)
+    return system
+
+
+@pytest.mark.parametrize("consensus", ["ct", "mr"])
+class TestFaultyStackViolatesValidity:
+    def test_correct_senders_message_is_blocked_forever(self, consensus):
+        system = staged_system("faulty-ids", consensus)
+        with pytest.raises(ProtocolViolationError, match="Validity"):
+            check_abcast(system.trace, system.config)
+        # Nothing was ever adelivered at the survivors: the lost id(m)
+        # heads the total order.
+        assert system.trace.adelivery_sequence(1) == []
+        assert system.trace.adelivery_sequence(3) == []
+
+    def test_the_lost_id_was_decided(self, consensus):
+        """The violation mechanism: consensus really did decide id(m)
+        while no surviving process held m."""
+        system = staged_system("faulty-ids", consensus)
+        first = system.trace.first_decision(1)
+        assert first is not None
+        lost = {mid for mid in first.value if mid.origin == 2}
+        assert lost, "the crashed sender's id was ordered"
+        checker = ConsensusChecker(system.trace, system.config)
+        with pytest.raises(ProtocolViolationError, match="No loss"):
+            checker.check_no_loss(1)
+
+
+class TestCorrectStacksSurviveTheSameSchedule:
+    @pytest.mark.parametrize(
+        "abcast,consensus,n",
+        [
+            ("indirect", "ct-indirect", 3),
+            ("indirect", "mr-indirect", 4),
+            ("urb-ids", "ct", 3),
+        ],
+    )
+    def test_m2_is_delivered(self, abcast, consensus, n):
+        system = staged_system(abcast, consensus, n=n)
+        check_abcast(system.trace, system.config)
+        seq = system.trace.adelivery_sequence(1)
+        assert any(mid.origin == 1 for mid in seq), "m2 must be delivered"
+
+    def test_indirect_decisions_all_satisfy_no_loss(self):
+        system = staged_system("indirect", "ct-indirect")
+        ConsensusChecker(system.trace, system.config).check_all(
+            no_loss=True, v_stability=True
+        )
+
+    def test_faulty_stack_is_fine_without_crashes(self):
+        """The bug is latent: the very same faulty stack passes every
+        check when nobody crashes — which is why it shipped in real
+        group-communication systems."""
+        def delay_fn(frame):
+            return 50e-3 if (not frame.control and frame.src == 2) else 0.5e-3
+
+        spec = StackSpec(
+            n=3,
+            abcast="faulty-ids",
+            consensus="ct",
+            network="constant",
+            delay_fn=delay_fn,
+            fd="oracle",
+            seed=1,
+        )
+        system = build_system(spec)  # no crash schedule
+        system.processes[2].schedule_at(
+            0.0, lambda: system.abcasts[2].abroadcast(make_payload(4000, "m"))
+        )
+        system.processes[1].schedule_at(
+            0.2e-3, lambda: system.abcasts[1].abroadcast(make_payload(10, "m2"))
+        )
+        system.run(until=2.0, max_events=2_000_000)
+        check_abcast(system.trace, system.config)
+        assert len(system.trace.adelivery_sequence(1)) == 2

@@ -1,0 +1,111 @@
+"""The wait-for-messages ablation under crashes, and a long soak run.
+
+The nack policy (Algorithm 2 as published) and the wait policy must be
+*equally safe*; they differ in liveness dynamics.  The soak test runs a
+larger, longer, heartbeat-FD system through two crashes and a load
+spike and asserts the full property set — the closest thing to a
+chaos test the deterministic engine allows.
+"""
+
+from repro import (
+    CrashSchedule,
+    StackSpec,
+    SymmetricWorkload,
+    build_system,
+    check_abcast,
+    make_payload,
+)
+from repro.checkers.broadcast import BroadcastChecker
+from repro.checkers.consensus import ConsensusChecker
+
+
+class TestWaitPolicyUnderCrashes:
+    def test_wait_policy_survives_coordinator_crash(self):
+        """Waiting on a dead coordinator's missing messages must resolve
+        through the failure detector (the suspicion branch)."""
+        spec = StackSpec(
+            n=3,
+            abcast="indirect",
+            consensus="ct-indirect",
+            ct_missing_policy="wait",
+            seed=5,
+            fd_detection_delay=15e-3,
+        )
+        system = build_system(spec, CrashSchedule.single(2, 0.06))
+        SymmetricWorkload(
+            system, throughput=150, payload_size=100, duration=0.3
+        ).install()
+        system.run(until=3.0, max_events=5_000_000)
+        check_abcast(system.trace, system.config)
+        ConsensusChecker(system.trace, system.config).check_all(
+            no_loss=True, v_stability=True
+        )
+
+    def test_wait_policy_in_the_section22_schedule(self):
+        """Even with waiting instead of nacking, the staged §2.2 crash
+        cannot produce a validity violation: the wait resolves via
+        suspicion of the crashed sender-coordinator."""
+
+        def delay_fn(frame):
+            if not frame.control and frame.src == 2:
+                return 50e-3
+            return 0.5e-3
+
+        spec = StackSpec(
+            n=3,
+            abcast="indirect",
+            consensus="ct-indirect",
+            ct_missing_policy="wait",
+            network="constant",
+            delay_fn=delay_fn,
+            drop_in_flight_on_crash=True,
+            fd_detection_delay=10e-3,
+            seed=1,
+        )
+        system = build_system(spec, CrashSchedule.single(2, 2.5e-3))
+        system.processes[2].schedule_at(
+            0.0, lambda: system.abcasts[2].abroadcast(make_payload(4000, "m"))
+        )
+        system.processes[1].schedule_at(
+            0.2e-3, lambda: system.abcasts[1].abroadcast(make_payload(10, "m2"))
+        )
+        system.run(until=2.0, max_events=2_000_000)
+        check_abcast(system.trace, system.config)
+        assert any(
+            mid.origin == 1 for mid in system.trace.adelivery_sequence(1)
+        )
+
+
+class TestSoak:
+    def test_long_run_with_heartbeat_fd_two_crashes_and_load_spike(self):
+        spec = StackSpec(
+            n=5,
+            abcast="indirect",
+            consensus="ct-indirect",
+            rb="sender",
+            fd="heartbeat",
+            heartbeat_interval=15e-3,
+            heartbeat_timeout=80e-3,
+            seed=13,
+        )
+        system = build_system(spec, CrashSchedule.of((2, 0.4), (5, 0.8)))
+        # Base load plus a mid-run spike.
+        SymmetricWorkload(
+            system, throughput=120, payload_size=200, duration=1.2
+        ).install()
+        SymmetricWorkload(
+            system, throughput=600, payload_size=50, duration=0.2, start=0.5
+        ).install()
+        system.run(until=6.0, max_events=30_000_000)
+
+        check_abcast(system.trace, system.config)
+        BroadcastChecker(system.trace, system.config).check_all()
+        ConsensusChecker(system.trace, system.config).check_all(
+            no_loss=True, v_stability=True
+        )
+        survivors = [1, 3, 4]
+        sequences = {
+            p: tuple(system.trace.adelivery_sequence(p)) for p in survivors
+        }
+        assert len(set(sequences.values())) == 1
+        assert len(sequences[1]) > 100

@@ -1,0 +1,78 @@
+"""Tests for the trace recorder and its derived queries."""
+
+from repro.core.events import (
+    ABroadcastEvent,
+    ADeliverEvent,
+    CrashEvent,
+    DecideEvent,
+    ProposeEvent,
+    RDeliverEvent,
+)
+from repro.core.identifiers import MessageId
+from repro.core.message import AppMessage, make_payload
+from repro.sim.trace import Trace
+
+
+def msg(origin, seq):
+    return AppMessage(mid=MessageId(origin, seq), sender=origin, payload=make_payload(1))
+
+
+class TestTraceIndexing:
+    def test_adelivery_sequence_preserves_order(self):
+        trace = Trace()
+        trace.record(ADeliverEvent(time=0.1, process=1, message=msg(1, 1)))
+        trace.record(ADeliverEvent(time=0.2, process=1, message=msg(2, 1)))
+        trace.record(ADeliverEvent(time=0.15, process=2, message=msg(1, 1)))
+        assert trace.adelivery_sequence(1) == [MessageId(1, 1), MessageId(2, 1)]
+        assert trace.adelivery_sequence(2) == [MessageId(1, 1)]
+
+    def test_abroadcasts_and_decides(self):
+        trace = Trace()
+        trace.record(ABroadcastEvent(time=0.0, process=1, message=msg(1, 1)))
+        trace.record(ProposeEvent(time=0.1, process=1, instance=1,
+                                  value=frozenset({MessageId(1, 1)})))
+        trace.record(DecideEvent(time=0.2, process=1, instance=1,
+                                 value=frozenset({MessageId(1, 1)})))
+        trace.record(DecideEvent(time=0.3, process=2, instance=1,
+                                 value=frozenset({MessageId(1, 1)})))
+        assert len(trace.abroadcasts()) == 1
+        assert trace.instances() == [1]
+        assert len(trace.decides(1)) == 2
+        assert trace.first_decision(1).process == 1
+
+    def test_first_decision_of_unknown_instance_is_none(self):
+        assert Trace().first_decision(7) is None
+
+    def test_correct_processes_excludes_crashed(self):
+        trace = Trace()
+        trace.record(CrashEvent(time=0.5, process=2))
+        assert trace.correct_processes((1, 2, 3)) == {1, 3}
+        assert trace.crash_time(2) == 0.5
+        assert trace.crash_time(1) is None
+
+
+class TestHoldersAt:
+    def test_holders_require_all_ids_by_time(self):
+        trace = Trace()
+        trace.record(RDeliverEvent(time=0.1, process=1, message=msg(1, 1)))
+        trace.record(RDeliverEvent(time=0.3, process=1, message=msg(2, 1)))
+        trace.record(RDeliverEvent(time=0.2, process=2, message=msg(1, 1)))
+        both = frozenset({MessageId(1, 1), MessageId(2, 1)})
+        assert trace.holders_at(both, 0.2) == frozenset()
+        assert trace.holders_at(both, 0.3) == {1}
+        assert trace.holders_at(frozenset({MessageId(1, 1)}), 0.25) == {1, 2}
+
+    def test_crashed_holders_do_not_count(self):
+        """v-stability counts *live* copies: a crashed process's copy is
+        lost with it."""
+        trace = Trace()
+        trace.record(RDeliverEvent(time=0.1, process=1, message=msg(1, 1)))
+        trace.record(CrashEvent(time=0.2, process=1))
+        ids = frozenset({MessageId(1, 1)})
+        assert trace.holders_at(ids, 0.15) == {1}
+        assert trace.holders_at(ids, 0.25) == frozenset()
+
+    def test_empty_id_set_held_by_all_deliverers(self):
+        trace = Trace()
+        trace.record(RDeliverEvent(time=0.1, process=4, message=msg(1, 1)))
+        assert trace.holders_at(frozenset(), 0.0) == {4}

@@ -1,0 +1,88 @@
+"""Tests for the symmetric workload generator."""
+
+import pytest
+
+from repro import StackSpec, SymmetricWorkload, build_system
+from repro.core.exceptions import ConfigurationError
+
+
+def make(throughput=300.0, duration=0.5, arrivals="poisson", seed=0, n=3):
+    system = build_system(StackSpec(n=n, seed=seed))
+    wl = SymmetricWorkload(
+        system,
+        throughput=throughput,
+        payload_size=32,
+        duration=duration,
+        arrivals=arrivals,
+    )
+    return system, wl
+
+
+class TestSymmetricWorkload:
+    def test_offered_load_close_to_nominal(self):
+        _, wl = make(throughput=400.0, duration=1.0)
+        scheduled = wl.install()
+        assert scheduled == pytest.approx(400, rel=0.25)
+
+    def test_uniform_arrivals_are_exact(self):
+        _, wl = make(throughput=300.0, duration=1.0, arrivals="uniform")
+        assert wl.install() == 300
+
+    def test_every_process_sends(self):
+        system, wl = make(throughput=300.0, duration=0.4)
+        wl.install()
+        system.run(until=2.0, max_events=3_000_000)
+        origins = {e.message.mid.origin for e in system.trace.abroadcasts()}
+        assert origins == {1, 2, 3}
+
+    def test_sends_fall_inside_window(self):
+        system, wl = make(throughput=200.0, duration=0.3)
+        wl.install()
+        system.run(until=2.0, max_events=3_000_000)
+        times = [e.time for e in system.trace.abroadcasts()]
+        assert min(times) >= 0.0
+        assert max(times) < 0.3
+
+    def test_same_seed_same_arrivals(self):
+        sys_a, wl_a = make(seed=7)
+        sys_b, wl_b = make(seed=7)
+        assert wl_a.install() == wl_b.install()
+        sys_a.run(until=1.0, max_events=2_000_000)
+        sys_b.run(until=1.0, max_events=2_000_000)
+        times_a = [e.time for e in sys_a.trace.abroadcasts()]
+        times_b = [e.time for e in sys_b.trace.abroadcasts()]
+        assert times_a == times_b
+
+    def test_sent_counter_tracks_actual_sends(self):
+        system, wl = make(throughput=200.0, duration=0.2)
+        scheduled = wl.install()
+        system.run(until=1.0, max_events=2_000_000)
+        assert wl.sent == scheduled
+
+    def test_crashed_process_stops_sending(self):
+        system, wl = make(throughput=300.0, duration=0.5)
+        scheduled = wl.install()
+        system.processes[1].crash()
+        system.run(until=2.0, max_events=3_000_000)
+        assert wl.sent < scheduled
+        assert all(
+            e.message.mid.origin != 1 for e in system.trace.abroadcasts()
+        )
+
+    def test_validation(self):
+        system = build_system(StackSpec(n=3))
+        with pytest.raises(ConfigurationError):
+            SymmetricWorkload(system, throughput=0, payload_size=1, duration=1)
+        with pytest.raises(ConfigurationError):
+            SymmetricWorkload(system, throughput=10, payload_size=1, duration=0)
+        with pytest.raises(ConfigurationError):
+            SymmetricWorkload(
+                system, throughput=10, payload_size=1, duration=1, arrivals="bursty"
+            )
+
+    def test_end_property(self):
+        system = build_system(StackSpec(n=3))
+        wl = SymmetricWorkload(
+            system, throughput=10, payload_size=1, duration=2.0, start=1.0
+        )
+        assert wl.end == 3.0
