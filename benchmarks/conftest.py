@@ -5,11 +5,40 @@ Each benchmark regenerates one panel of one figure of the paper at
 regeneration; the asserted content is the *shape* of the curves — who
 wins, where, by roughly how much).  ``python -m repro.harness --full``
 produces the full-resolution numbers recorded in EXPERIMENTS.md.
+
+Figure grids are declared as :class:`repro.harness.suite.SweepSpec`
+panels and executed through :func:`repro.harness.runner.run_suite`;
+:func:`regenerate` pins the execution options so the benchmarks stay
+honest: cache reads are disabled (a benchmark must measure
+regeneration, not a disk read), writes land in a throwaway directory
+(never the user's shared cache), and execution is serial so wall
+times are comparable across machines with different core counts.
+Note that ``run_suite``'s *within-call* dedup still applies — panels
+sharing a physical configuration (figure 7's URB variant) simulate it
+once, because that is the pipeline's real regeneration cost.
 """
 
 from __future__ import annotations
 
-from repro.harness.figures import Series
+import tempfile
+from typing import Callable
+
+from repro.harness.figures import FigureData, Series, SuiteOptions
+
+# Keep a reference so the directory lives for the whole session and is
+# removed by the TemporaryDirectory finalizer on interpreter exit.
+_BENCH_CACHE = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+
+BENCH_OPTIONS = SuiteOptions(
+    use_cache=False,
+    processes=1,
+    cache_dir=_BENCH_CACHE.name,
+)
+
+
+def regenerate(figure_fn: Callable[..., FigureData]) -> FigureData:
+    """Run one ``figureN`` builder at quick resolution, uncached."""
+    return figure_fn(True, BENCH_OPTIONS)
 
 
 def series_by_label(series_list: list[Series]) -> dict[str, dict[float, float]]:

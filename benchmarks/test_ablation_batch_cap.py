@@ -7,38 +7,51 @@ destroys that amortisation: with cap=1 the stack must pay one full
 consensus per message.
 """
 
-from repro.harness.experiment import ExperimentSpec, run_experiment
+from repro.harness.runner import run_suite
+from repro.harness.suite import SweepSpec
 from repro.net.setups import SETUP_1
 from repro.stack.builder import StackSpec
 
+CAPS = (1, 4, None)
 
-def measure(batch_cap, throughput=600.0):
-    spec = ExperimentSpec(
-        name=f"batch_cap={batch_cap}",
-        stack=StackSpec(
-            n=3,
-            abcast="indirect",
-            consensus="ct-indirect",
-            rb="sender",
-            params=SETUP_1,
-            batch_cap=batch_cap,
-            seed=0,
-        ),
-        throughput=throughput,
-        payload=16,
-        duration=0.4,
-        warmup=0.1,
-        drain=2.0,
+SWEEP = SweepSpec(
+    name="ablation-batch-cap",
+    variants=tuple(
+        (
+            f"cap={cap}",
+            StackSpec(
+                n=3,
+                abcast="indirect",
+                consensus="ct-indirect",
+                rb="sender",
+                params=SETUP_1,
+                batch_cap=cap,
+            ),
+        )
+        for cap in CAPS
+    ),
+    throughputs=(600.0,),
+    payloads=(16,),
+    target_messages=180,  # 0.3 s sending window at 600 msg/s
+    warmup=0.1,
+    drain=2.0,
+)
+
+
+def measure_all():
+    from benchmarks.conftest import BENCH_OPTIONS
+
+    suite = run_suite(
+        SWEEP,
+        use_cache=False,
+        processes=BENCH_OPTIONS.processes,
+        cache_dir=BENCH_OPTIONS.cache_dir,
     )
-    return run_experiment(spec)
+    return dict(zip(CAPS, suite.results))
 
 
 def test_batch_cap_sweep(benchmark):
-    results = benchmark.pedantic(
-        lambda: {cap: measure(cap) for cap in (1, 4, None)},
-        rounds=1,
-        iterations=1,
-    )
+    results = benchmark.pedantic(measure_all, rounds=1, iterations=1)
     benchmark.extra_info["latency_ms"] = {
         str(cap): round(r.mean_latency_ms, 3) for cap, r in results.items()
     }

@@ -1,0 +1,54 @@
+"""Micro-benchmark: the engine's schedule/run hot path.
+
+Heap entries are plain ``(time, seq, record)`` tuples so every heap
+sift compares a float (and on ties an int) instead of dispatching into
+a dataclass ``__lt__``.  This benchmark drives the scheduler the way a
+saturated contention-model run does: a large rolling population of
+pending timers, interleaved scheduling from inside callbacks, plus a
+slice of cancellations.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Engine
+
+EVENTS = 20_000
+
+
+def _drive_engine() -> int:
+    engine = Engine()
+    fired = 0
+
+    def tick(depth: int) -> None:
+        nonlocal fired
+        fired += 1
+        if depth > 0:
+            # Reschedule from inside the callback, as protocol layers do.
+            engine.schedule(0.001, tick, depth - 1)
+
+    handles = []
+    for i in range(EVENTS // 10):
+        handles.append(engine.schedule(0.0005 * (i % 97), tick, 9))
+    # Cancel a slice: cancelled entries must be skipped cheaply.
+    for handle in handles[::7]:
+        handle.cancel()
+    engine.run_until_idle(max_events=EVENTS * 2)
+    return fired
+
+
+def test_engine_schedule_run_throughput(benchmark):
+    fired = benchmark(_drive_engine)
+    assert fired > EVENTS // 2
+
+
+def test_engine_results_unchanged_by_heap_layout():
+    """Tuple-keyed heap preserves (time, then FIFO) callback ordering."""
+    engine = Engine()
+    order: list[int] = []
+    engine.schedule(0.2, order.append, 3)
+    engine.schedule(0.1, order.append, 1)
+    engine.schedule(0.1, order.append, 2)  # same time: scheduling order wins
+    cancelled = engine.schedule(0.15, order.append, 99)
+    cancelled.cancel()
+    engine.run_until_idle()
+    assert order == [1, 2, 3]

@@ -6,12 +6,12 @@ entire messages.  This result becomes clearer as the throughput ...
 increases."  Indirect stays nearly flat; consensus-on-messages blows up.
 """
 
-from benchmarks.conftest import assert_dominates, record_panel
+from benchmarks.conftest import assert_dominates, record_panel, regenerate
 from repro.harness.figures import figure1
 
 
 def test_figure1_latency_vs_payload(benchmark):
-    figure = benchmark.pedantic(figure1, kwargs={"quick": True}, rounds=1, iterations=1)
+    figure = benchmark.pedantic(regenerate, args=(figure1,), rounds=1, iterations=1)
 
     low = record_panel(benchmark, figure, "100 msgs/s")
     high = record_panel(benchmark, figure, "800 msgs/s")

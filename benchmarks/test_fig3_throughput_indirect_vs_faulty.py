@@ -6,12 +6,12 @@ stays small relative to the absolute latency ("the price to pay for a
 correct implementation").
 """
 
-from benchmarks.conftest import record_panel
+from benchmarks.conftest import record_panel, regenerate
 from repro.harness.figures import figure3
 
 
 def test_figure3_latency_vs_throughput(benchmark):
-    figure = benchmark.pedantic(figure3, kwargs={"quick": True}, rounds=1, iterations=1)
+    figure = benchmark.pedantic(regenerate, args=(figure3,), rounds=1, iterations=1)
 
     n3 = record_panel(benchmark, figure, "n = 3 processes")
     n5 = record_panel(benchmark, figure, "n = 5 processes")

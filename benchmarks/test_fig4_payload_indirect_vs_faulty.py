@@ -6,12 +6,12 @@ message sizes"; both variants' latency rises with payload because of
 data diffusion, not because of consensus (which only handles ids).
 """
 
-from benchmarks.conftest import record_panel
+from benchmarks.conftest import record_panel, regenerate
 from repro.harness.figures import figure4
 
 
 def test_figure4_latency_vs_payload_n5(benchmark):
-    figure = benchmark.pedantic(figure4, kwargs={"quick": True}, rounds=1, iterations=1)
+    figure = benchmark.pedantic(regenerate, args=(figure4,), rounds=1, iterations=1)
 
     panels = {
         rate: record_panel(benchmark, figure, f"{rate} msgs/s")

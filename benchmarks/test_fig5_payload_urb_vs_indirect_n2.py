@@ -6,7 +6,7 @@ consensus on message identifiers and uniform reliable broadcast" — a
 small but consistent edge attributed to URB's extra communication step.
 """
 
-from benchmarks.conftest import record_panel
+from benchmarks.conftest import record_panel, regenerate
 from repro.harness.figures import figure5
 
 INDIRECT = "Indirect consensus w/ rbcast O(n^2)"
@@ -14,7 +14,7 @@ URB = "Consensus w/ uniform rbcast"
 
 
 def test_figure5_urb_vs_indirect_flood_rb(benchmark):
-    figure = benchmark.pedantic(figure5, kwargs={"quick": True}, rounds=1, iterations=1)
+    figure = benchmark.pedantic(regenerate, args=(figure5,), rounds=1, iterations=1)
 
     for rate in (500, 1500, 2000):
         panel = record_panel(benchmark, figure, f"{rate} msgs/s")

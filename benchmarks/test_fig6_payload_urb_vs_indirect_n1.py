@@ -6,7 +6,7 @@ if consensus and uniform reliable broadcast are used" — the gap is much
 wider than Figure 5's.
 """
 
-from benchmarks.conftest import assert_dominates, record_panel
+from benchmarks.conftest import assert_dominates, record_panel, regenerate
 from repro.harness.figures import figure6
 
 INDIRECT = "Indirect consensus w/ rbcast O(n)"
@@ -14,7 +14,7 @@ URB = "Consensus w/ uniform rbcast"
 
 
 def test_figure6_urb_vs_indirect_sender_rb(benchmark):
-    figure = benchmark.pedantic(figure6, kwargs={"quick": True}, rounds=1, iterations=1)
+    figure = benchmark.pedantic(regenerate, args=(figure6,), rounds=1, iterations=1)
 
     gaps = {}
     for rate in (500, 1500, 2000):

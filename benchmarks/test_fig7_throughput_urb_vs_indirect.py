@@ -6,7 +6,7 @@ slightly better)"; indirect + RB O(n) "is much less affected by the
 throughput".
 """
 
-from benchmarks.conftest import record_panel
+from benchmarks.conftest import record_panel, regenerate
 from repro.harness.figures import figure7
 
 IND_N2 = "Indirect consensus w/ rbcast O(n^2)"
@@ -15,7 +15,7 @@ URB = "Consensus w/ uniform rbcast"
 
 
 def test_figure7_latency_vs_throughput(benchmark):
-    figure = benchmark.pedantic(figure7, kwargs={"quick": True}, rounds=1, iterations=1)
+    figure = benchmark.pedantic(regenerate, args=(figure7,), rounds=1, iterations=1)
 
     flood_panel = record_panel(benchmark, figure, "RB in O(n^2) messages")
     sender_panel = record_panel(benchmark, figure, "RB in O(n) messages")

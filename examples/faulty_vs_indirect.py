@@ -20,29 +20,54 @@ behind it forever (atomic broadcast's Validity is violated).  Under the
 indirect stack the rcv gate refuses to order an identifier nobody can
 back, and ``m2`` sails through.
 
+The two staged runs are independent, so they fan out through the
+harness runner's :func:`~repro.harness.runner.parallel_map` — each run
+executes in its own worker process and returns a small picklable
+outcome record.
+
 Run:  python examples/faulty_vs_indirect.py
 """
 
+from dataclasses import dataclass
+
 from repro import CrashSchedule, StackSpec, build_system, check_abcast, make_payload
 from repro.core.exceptions import ProtocolViolationError
+from repro.harness.runner import parallel_map
+
+#: The two stacks under test, in presentation order.
+STACKS = (
+    ("FAULTY stack: RB + unmodified consensus on ids", "faulty-ids", "ct"),
+    ("CORRECT stack: RB + indirect consensus (Algorithms 1 + 2)",
+     "indirect", "ct-indirect"),
+)
 
 
-def staged_run(abcast: str, consensus: str):
+@dataclass(frozen=True)
+class StagedOutcome:
+    """Picklable summary of one staged run (crosses the pool boundary)."""
+
+    label: str
+    delivered_by_p1: tuple[str, ...]
+    violation: str | None
+
+
+def _slow_bulk_from_p2(frame):
+    # Separate channels: p2's bulk data crawls (deep buffers), all
+    # control traffic is fast.  Routine behaviour on a loaded LAN.
+    if not frame.control and frame.src == 2:
+        return 50e-3
+    return 0.5e-3
+
+
+def staged_run(stack_row: tuple[str, str, str]) -> StagedOutcome:
     """Build and drive the Section-2.2 execution against one stack."""
-
-    def delay_fn(frame):
-        # Separate channels: p2's bulk data crawls (deep buffers), all
-        # control traffic is fast.  Routine behaviour on a loaded LAN.
-        if not frame.control and frame.src == 2:
-            return 50e-3
-        return 0.5e-3
-
+    label, abcast, consensus = stack_row
     spec = StackSpec(
         n=3,
         abcast=abcast,
         consensus=consensus,
         network="constant",
-        delay_fn=delay_fn,
+        delay_fn=_slow_bulk_from_p2,
         drop_in_flight_on_crash=True,  # socket buffers die with p2
         fd="oracle",
         fd_detection_delay=10e-3,
@@ -56,18 +81,28 @@ def staged_run(abcast: str, consensus: str):
         0.2e-3, lambda: system.abcasts[1].abroadcast(make_payload(10, "m2"))
     )
     system.run(until=2.0, max_events=2_000_000)
-    return system
 
-
-def report(label: str, system) -> None:
-    seq = system.trace.adelivery_sequence(1)
-    print(f"\n=== {label} ===")
-    print(f"  p1 (correct) delivered: {[str(m) for m in seq] or 'NOTHING'}")
+    violation = None
     try:
         check_abcast(system.trace, system.config)
+    except ProtocolViolationError as exc:
+        violation = f"{exc.prop}: {exc.detail}"
+    return StagedOutcome(
+        label=label,
+        delivered_by_p1=tuple(
+            str(m) for m in system.trace.adelivery_sequence(1)
+        ),
+        violation=violation,
+    )
+
+
+def report(outcome: StagedOutcome) -> None:
+    print(f"\n=== {outcome.label} ===")
+    print(f"  p1 (correct) delivered: {list(outcome.delivered_by_p1) or 'NOTHING'}")
+    if outcome.violation is None:
         print("  all atomic broadcast properties hold")
-    except ProtocolViolationError as violation:
-        print(f"  VIOLATION -> {violation.prop}: {violation.detail}")
+    else:
+        print(f"  VIOLATION -> {outcome.violation}")
 
 
 def main() -> None:
@@ -76,14 +111,8 @@ def main() -> None:
         "p2 crashes before any copy of m escapes; then correct p1\n"
         "abroadcasts m2.  (Identical schedule for both stacks.)"
     )
-    report(
-        "FAULTY stack: RB + unmodified consensus on ids",
-        staged_run("faulty-ids", "ct"),
-    )
-    report(
-        "CORRECT stack: RB + indirect consensus (Algorithms 1 + 2)",
-        staged_run("indirect", "ct-indirect"),
-    )
+    for outcome in parallel_map(staged_run, STACKS):
+        report(outcome)
     print(
         "\nThe faulty stack wedges forever on the lost id; the indirect\n"
         "stack nacks the unbacked proposal and keeps delivering."

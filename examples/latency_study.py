@@ -6,80 +6,86 @@ operating point of each paper setup, printing a table comparable to the
 figures in Section 4 — a taste of what ``python -m repro.harness`` does
 at full sweep resolution.
 
+The grids are declared as :class:`~repro.harness.suite.SweepSpec`s and
+executed with one :func:`~repro.harness.runner.run_suite` call: all six
+points fan out over the process pool, and a second invocation of this
+script serves every point from the on-disk result cache.
+
 Run:  python examples/latency_study.py
 """
 
 from repro import SETUP_1, SETUP_2
-from repro.harness.experiment import ExperimentSpec, run_experiment
+from repro.harness.runner import run_suite
 from repro.harness.report import render_table
+from repro.harness.suite import SweepSpec
 from repro.stack.builder import StackSpec
 
+SETUP1_SWEEP = SweepSpec(
+    name="study-setup1",
+    variants=(
+        ("consensus on messages",
+         StackSpec(n=3, abcast="on-messages", consensus="ct", rb="sender",
+                   params=SETUP_1)),
+        ("faulty consensus on ids",
+         StackSpec(n=3, abcast="faulty-ids", consensus="ct", rb="sender",
+                   params=SETUP_1)),
+        ("indirect consensus (Alg. 2)",
+         StackSpec(n=3, abcast="indirect", consensus="ct-indirect",
+                   rb="sender", params=SETUP_1)),
+    ),
+    throughputs=(100.0,),
+    payloads=(2500,),
+    target_messages=150,
+    warmup=0.1,
+    drain=1.0,
+)
 
-def measure(name, stack, throughput, payload):
-    spec = ExperimentSpec(
-        name=name,
-        stack=stack,
-        throughput=throughput,
-        payload=payload,
-        duration=0.1 + 150 / throughput,
-        warmup=0.1,
-    )
-    result = run_experiment(spec)
-    return {
-        "stack": name,
-        "throughput [msg/s]": int(throughput),
-        "payload [B]": payload,
-        "latency [ms]": f"{result.mean_latency_ms:.3f}",
-        "p90 [ms]": f"{result.latency.stats.p90 * 1e3:.3f}",
-        "frames": result.frames_total,
-    }
+SETUP2_SWEEP = SweepSpec(
+    name="study-setup2",
+    variants=(
+        ("URB + consensus on ids",
+         StackSpec(n=3, abcast="urb-ids", consensus="ct", params=SETUP_2)),
+        ("indirect + RB O(n^2)",
+         StackSpec(n=3, abcast="indirect", consensus="ct-indirect",
+                   rb="flood", params=SETUP_2)),
+        ("indirect + RB O(n)",
+         StackSpec(n=3, abcast="indirect", consensus="ct-indirect",
+                   rb="sender", params=SETUP_2)),
+    ),
+    throughputs=(1500.0,),
+    payloads=(1000,),
+    target_messages=150,
+    warmup=0.1,
+    drain=1.0,
+)
+
+
+def rows_for(sweep, suite):
+    # One grid point per variant, so experiments() aligns with variants.
+    by_name = suite.by_name()
+    rows = []
+    for (label, _), spec in zip(sweep.variants, sweep.experiments()):
+        result = by_name[spec.name]
+        rows.append({
+            "stack": label,
+            "throughput [msg/s]": int(spec.throughput),
+            "payload [B]": spec.payload,
+            "latency [ms]": f"{result.mean_latency_ms:.3f}",
+            "p90 [ms]": f"{result.latency.stats.p90 * 1e3:.3f}",
+            "frames": result.frames_total,
+        })
+    return rows
 
 
 def main() -> None:
-    print("Setup 1 (100 Mb/s, Fig. 1 regime): n=3, 100 msg/s, 2500 B payload\n")
-    rows = [
-        measure(
-            "consensus on messages",
-            StackSpec(n=3, abcast="on-messages", consensus="ct", rb="sender",
-                      params=SETUP_1),
-            100.0, 2500,
-        ),
-        measure(
-            "faulty consensus on ids",
-            StackSpec(n=3, abcast="faulty-ids", consensus="ct", rb="sender",
-                      params=SETUP_1),
-            100.0, 2500,
-        ),
-        measure(
-            "indirect consensus (Alg. 2)",
-            StackSpec(n=3, abcast="indirect", consensus="ct-indirect",
-                      rb="sender", params=SETUP_1),
-            100.0, 2500,
-        ),
-    ]
-    print(render_table(rows))
+    # One suite call executes both setups' grids across the pool.
+    suite = run_suite([SETUP1_SWEEP, SETUP2_SWEEP])
 
+    print("Setup 1 (100 Mb/s, Fig. 1 regime): n=3, 100 msg/s, 2500 B payload\n")
+    print(render_table(rows_for(SETUP1_SWEEP, suite)))
     print("\nSetup 2 (1 Gb/s, Fig. 6 regime): n=3, 1500 msg/s, 1000 B payload\n")
-    rows = [
-        measure(
-            "URB + consensus on ids",
-            StackSpec(n=3, abcast="urb-ids", consensus="ct", params=SETUP_2),
-            1500.0, 1000,
-        ),
-        measure(
-            "indirect + RB O(n^2)",
-            StackSpec(n=3, abcast="indirect", consensus="ct-indirect",
-                      rb="flood", params=SETUP_2),
-            1500.0, 1000,
-        ),
-        measure(
-            "indirect + RB O(n)",
-            StackSpec(n=3, abcast="indirect", consensus="ct-indirect",
-                      rb="sender", params=SETUP_2),
-            1500.0, 1000,
-        ),
-    ]
-    print(render_table(rows))
+    print(render_table(rows_for(SETUP2_SWEEP, suite)))
+    print(f"\n[{suite.summary()}]")
     print(
         "\nExpected shape (the paper's conclusions): indirect beats\n"
         "consensus-on-messages at any real payload; indirect + O(n) RB\n"

@@ -3,17 +3,24 @@
 * :mod:`repro.harness.experiment` — one experiment = one simulated run
   (stack spec + workload + measurement window) producing a latency
   report and diagnostics.
+* :mod:`repro.harness.suite` — declarative sweep grids:
+  :class:`~repro.harness.suite.SweepSpec` expands stacks × throughputs
+  × payloads × seeds into experiment specs.
+* :mod:`repro.harness.runner` — parallel execution:
+  :func:`~repro.harness.runner.run_suite` fans a sweep out over a
+  process pool with a content-addressed on-disk result cache.
 * :mod:`repro.harness.figures` — the per-figure experiment definitions:
-  ``figure1()`` .. ``figure7()`` return the same series the paper plots
-  (latency vs payload / throughput, per variant), in *quick* or *full*
+  ``figure1()`` .. ``figure7()`` declare the paper's grids as sweeps
+  and return the same series the paper plots, in *quick* or *full*
   resolution.
-* :mod:`repro.harness.report` — ASCII rendering of figure data and the
-  shape assertions that EXPERIMENTS.md records.
+* :mod:`repro.harness.report` — ASCII rendering of figure data, suite
+  results, and the shape assertions that EXPERIMENTS.md records.
 
 Command line::
 
     python -m repro.harness --figure 3          # quick resolution
     python -m repro.harness --figure all --full # full sweep
+    python -m repro.harness --figure 7 --jobs 8 # parallel sweep pool
 """
 
 from repro.harness.experiment import (
@@ -21,9 +28,19 @@ from repro.harness.experiment import (
     ExperimentSpec,
     run_experiment,
 )
+from repro.harness.runner import (
+    ResultCache,
+    SuiteError,
+    SuiteResult,
+    parallel_map,
+    run_suite,
+    spec_key,
+)
+from repro.harness.suite import SweepSpec, expand
 from repro.harness.figures import (
     FigureData,
     Series,
+    SuiteOptions,
     all_figures,
     figure1,
     figure2_table,
@@ -33,14 +50,20 @@ from repro.harness.figures import (
     figure6,
     figure7,
 )
-from repro.harness.report import render_figure, render_table
+from repro.harness.report import render_figure, render_suite, render_table
 
 __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "FigureData",
+    "ResultCache",
     "Series",
+    "SuiteError",
+    "SuiteOptions",
+    "SuiteResult",
+    "SweepSpec",
     "all_figures",
+    "expand",
     "figure1",
     "figure2_table",
     "figure3",
@@ -48,7 +71,11 @@ __all__ = [
     "figure5",
     "figure6",
     "figure7",
+    "parallel_map",
     "render_figure",
+    "render_suite",
     "render_table",
     "run_experiment",
+    "run_suite",
+    "spec_key",
 ]

@@ -5,6 +5,13 @@ Usage::
     python -m repro.harness --figure 3            # quick resolution
     python -m repro.harness --figure all --full   # the paper's full grid
     python -m repro.harness --figure 2            # the Figure-2 quorum table
+    python -m repro.harness --figure 7 --jobs 8   # 8 worker processes
+    python -m repro.harness --figure 4 --trace-mode metrics  # cheap sweeps
+
+Figure grids execute through :func:`repro.harness.runner.run_suite`:
+points fan out over a process pool (``--jobs``) and completed points
+are cached on disk (``--cache-dir``, ``--no-cache``), so re-running a
+figure only computes what is missing.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import sys
 import time
 
 from repro.harness import figures as figmod
+from repro.harness.figures import SuiteOptions
 from repro.harness.report import render_figure, render_table
 
 _FIGURES = {
@@ -46,13 +54,46 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also render ASCII charts of the curves",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep pool (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR "
+             "or ~/.cache/repro-sweeps)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore cached results and recompute every point",
+    )
+    parser.add_argument(
+        "--trace-mode",
+        choices=("full", "metrics"),
+        default="full",
+        help="'full' safety-checks every run; 'metrics' streams latency "
+             "only (no event trace, far less memory on long sweeps)",
+    )
     args = parser.parse_args(argv)
 
+    options = SuiteOptions(
+        processes=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        trace_mode=args.trace_mode,
+    )
     quick = not args.full
     started = time.perf_counter()
     if args.figure == "2":
         print(render_table(figmod.figure2_table(), title="Figure 2 arithmetic"))
         return 0
+
     def show(figure_data) -> None:
         print(render_figure(figure_data))
         if args.chart:
@@ -65,13 +106,13 @@ def main(argv: list[str] | None = None) -> int:
         print(render_table(figmod.figure2_table(), title="Figure 2 arithmetic"))
         print()
         for build in _FIGURES.values():
-            show(build(quick))
+            show(build(quick, options))
             print()
     else:
         build = _FIGURES.get(args.figure)
         if build is None:
             parser.error(f"unknown figure {args.figure!r}")
-        show(build(quick))
+        show(build(quick, options))
     print(f"[done in {time.perf_counter() - started:.1f}s wall]")
     return 0
 

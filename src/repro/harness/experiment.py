@@ -18,8 +18,14 @@ import time
 from dataclasses import dataclass, field
 
 from repro.checkers.abcast import check_abcast
+from repro.core.exceptions import ConfigurationError
 from repro.failure.crash import CrashSchedule
-from repro.metrics.latency import LatencyReport, measure_latency
+from repro.metrics.latency import (
+    LatencyReport,
+    measure_latency,
+    report_from_metrics,
+)
+from repro.sim.trace import MetricsTrace, Trace
 from repro.stack.builder import StackSpec, build_system
 from repro.workload.generators import SymmetricWorkload
 
@@ -40,7 +46,12 @@ class ExperimentSpec:
         arrivals: ``"poisson"`` | ``"uniform"``.
         safety_checks: Run the (safety-only) abcast checks on the trace;
             on by default — a performance number from an incorrect run
-            is worthless.
+            is worthless.  Requires ``trace_mode="full"``.
+        trace_mode: ``"full"`` retains the complete event trace (needed
+            by the checkers); ``"metrics"`` streams latency accumulators
+            through a :class:`~repro.sim.trace.MetricsTrace` and retains
+            no event list — the cheap mode for long sweeps whose
+            configuration has already been safety-checked once.
         max_events: Engine runaway guard.
     """
 
@@ -53,7 +64,21 @@ class ExperimentSpec:
     drain: float = 1.0
     arrivals: str = "poisson"
     safety_checks: bool = True
+    trace_mode: str = "full"
     max_events: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.trace_mode not in ("full", "metrics"):
+            raise ConfigurationError(
+                f"unknown trace_mode {self.trace_mode!r}; "
+                "choose 'full' or 'metrics'"
+            )
+        if self.trace_mode == "metrics" and self.safety_checks:
+            raise ConfigurationError(
+                "trace_mode='metrics' retains no event trace, so the "
+                "safety checkers cannot run; set safety_checks=False "
+                "(after safety-checking the configuration with a full run)"
+            )
 
 
 @dataclass(frozen=True)
@@ -93,7 +118,13 @@ class ExperimentResult:
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     """Build, drive, measure, and (safety-)check one run."""
     started = time.perf_counter()
-    system = build_system(spec.stack, CrashSchedule.none())
+    if spec.trace_mode == "metrics":
+        trace: Trace | MetricsTrace = MetricsTrace(
+            warmup=spec.warmup, cutoff=spec.duration
+        )
+    else:
+        trace = Trace()
+    system = build_system(spec.stack, CrashSchedule.none(), trace=trace)
     workload = SymmetricWorkload(
         system,
         throughput=spec.throughput,
@@ -120,12 +151,15 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         # undelivered backlog); safety must hold regardless.
         check_abcast(system.trace, system.config, expect_quiescent=False)
 
-    latency = measure_latency(
-        system.trace,
-        system.config,
-        warmup=spec.warmup,
-        cutoff=spec.duration,
-    )
+    if isinstance(trace, MetricsTrace):
+        latency = report_from_metrics(trace, system.config)
+    else:
+        latency = measure_latency(
+            trace,
+            system.config,
+            warmup=spec.warmup,
+            cutoff=spec.duration,
+        )
     delivered_min = min(a.delivered_count() for a in system.abcasts.values())
     network = system.network
     data_bytes = sum(

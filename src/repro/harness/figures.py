@@ -1,9 +1,13 @@
 """Per-figure experiment definitions.
 
 Each ``figureN()`` function reproduces the corresponding figure of the
-paper's evaluation: it runs the same variants over the same parameter
-sweeps (payload sizes, throughputs, group sizes, network setups) and
-returns the latency series the paper plots.
+paper's evaluation: it declares the same variants over the same
+parameter sweeps (payload sizes, throughputs, group sizes, network
+setups) as one :class:`~repro.harness.suite.SweepSpec` per panel, and
+executes every panel of the figure through one
+:func:`~repro.harness.runner.run_suite` call — so all points of a
+figure run across the process pool together, and a re-run only computes
+points missing from the result cache.
 
 Two resolutions:
 
@@ -20,6 +24,7 @@ The variant labels match the figure legends in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.consensus.quorums import (
     adoption_threshold,
@@ -27,10 +32,34 @@ from repro.consensus.quorums import (
     max_resilience_for_intersection,
     phase2_quorum,
 )
-from repro.harness.experiment import ExperimentResult, ExperimentSpec, run_experiment
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runner import run_suite
+from repro.harness.suite import SweepSpec
 from repro.net.models import NetworkParams
 from repro.net.setups import SETUP_1, SETUP_2
 from repro.stack.builder import StackSpec
+
+
+@dataclass(frozen=True)
+class SuiteOptions:
+    """Execution knobs threaded from the CLI/benchmarks into figures.
+
+    Attributes:
+        processes: Pool size for :func:`run_suite` (``1`` = serial).
+        cache_dir: Result cache directory (``None`` = default).
+        use_cache: Serve previously computed points from disk.
+        trace_mode: ``"full"`` safety-checks every point; ``"metrics"``
+            streams latency only (no per-event trace, no checks) —
+            markedly lighter on long full-resolution sweeps.
+    """
+
+    processes: int | None = None
+    cache_dir: Path | str | None = None
+    use_cache: bool = True
+    trace_mode: str = "full"
+
+
+_DEFAULT_OPTIONS = SuiteOptions()
 
 
 @dataclass
@@ -87,61 +116,82 @@ def _stack(variant: str, n: int, params: NetworkParams, seed: int) -> StackSpec:
                      seed=seed, **kwargs)
 
 
-def _measure(
-    variant: str,
-    n: int,
-    params: NetworkParams,
-    throughput: float,
-    payload: int,
-    quick: bool,
-    seed: int = 0,
-) -> ExperimentResult:
-    target_messages = 120 if quick else 600
-    duration = 0.1 + target_messages / throughput
-    spec = ExperimentSpec(
-        name=f"{variant} n={n} {throughput}msg/s {payload}B",
-        stack=_stack(variant, n, params, seed),
-        throughput=throughput,
-        payload=payload,
-        duration=duration,
-        warmup=0.1,
-        drain=0.5 if quick else 1.0,
-    )
-    return run_experiment(spec)
+# ----------------------------------------------------------------------
+# SweepSpec declaration and execution of a figure's panels
+# ----------------------------------------------------------------------
 
 
-def _payload_panel(
-    variants: list[str],
-    n: int,
-    params: NetworkParams,
-    throughput: float,
-    payloads: list[int],
-    quick: bool,
-) -> list[Series]:
-    series = []
-    for variant in variants:
-        s = Series(label=variant)
-        for payload in payloads:
-            s.add(payload, _measure(variant, n, params, throughput, payload, quick))
-        series.append(s)
-    return series
-
-
-def _throughput_panel(
+def _panel_sweep(
+    name: str,
     variants: list[str],
     n: int,
     params: NetworkParams,
     throughputs: list[float],
-    payload: int,
+    payloads: list[int],
     quick: bool,
-) -> list[Series]:
-    series = []
-    for variant in variants:
-        s = Series(label=variant)
-        for throughput in throughputs:
-            s.add(throughput, _measure(variant, n, params, throughput, payload, quick))
-        series.append(s)
-    return series
+    options: SuiteOptions,
+) -> SweepSpec:
+    """One panel of one figure, as a declarative sweep grid."""
+    return SweepSpec(
+        name=name,
+        variants=tuple(
+            (variant, _stack(variant, n, params, seed=0))
+            for variant in variants
+        ),
+        throughputs=tuple(throughputs),
+        payloads=tuple(payloads),
+        seeds=(0,),
+        target_messages=120 if quick else 600,
+        warmup=0.1,
+        drain=0.5 if quick else 1.0,
+        trace_mode=options.trace_mode,
+    )
+
+
+def _run_panels(
+    fig: FigureData,
+    panels: list[tuple[str, SweepSpec, str]],
+    options: SuiteOptions,
+) -> FigureData:
+    """Execute every panel's sweep through one ``run_suite`` call.
+
+    ``panels`` entries are ``(panel_name, sweep, x_axis)`` with
+    ``x_axis`` in ``{"payload", "throughput"}``.  All points of all
+    panels go through the pool together; results are sliced back per
+    panel and assembled into :class:`Series` in declaration order.
+    """
+    specs = []
+    slices: list[tuple[str, SweepSpec, str, slice]] = []
+    for panel_name, sweep, x_axis in panels:
+        expanded = sweep.experiments()
+        slices.append(
+            (panel_name, sweep, x_axis,
+             slice(len(specs), len(specs) + len(expanded)))
+        )
+        specs.extend(expanded)
+    suite = run_suite(
+        specs,
+        processes=options.processes,
+        cache_dir=options.cache_dir,
+        use_cache=options.use_cache,
+    )
+    for panel_name, sweep, x_axis, where in slices:
+        panel_specs = suite.specs[where]
+        panel_results = suite.results[where]
+        series = {label: Series(label=label) for label, _ in sweep.variants}
+        cursor = 0
+        for label, _stack_spec in sweep.variants:
+            for _seed in sweep.seeds:
+                for throughput in sweep.throughputs:
+                    for payload in sweep.payloads:
+                        result = panel_results[cursor]
+                        assert panel_specs[cursor].throughput == throughput
+                        assert panel_specs[cursor].payload == payload
+                        x = payload if x_axis == "payload" else throughput
+                        series[label].add(x, result)
+                        cursor += 1
+        fig.panels[panel_name] = list(series.values())
+    return fig
 
 
 # ----------------------------------------------------------------------
@@ -149,7 +199,9 @@ def _throughput_panel(
 # ----------------------------------------------------------------------
 
 
-def figure1(quick: bool = True) -> FigureData:
+def figure1(
+    quick: bool = True, options: SuiteOptions = _DEFAULT_OPTIONS
+) -> FigureData:
     """Latency vs payload, n=3: consensus on messages vs indirect (Setup 1)."""
     payloads = [1, 2500, 5000] if quick else [1, 1000, 2000, 3000, 4000, 5000]
     variants = ["Indirect consensus", "Consensus"]
@@ -158,11 +210,15 @@ def figure1(quick: bool = True) -> FigureData:
         title="Latency vs message size, n=3 (consensus on messages vs indirect)",
         xlabel="size of messages [bytes]",
     )
+    panels = []
     for throughput in (100.0, 800.0):
-        fig.panels[f"{throughput:.0f} msgs/s"] = _payload_panel(
-            variants, 3, SETUP_1, throughput, payloads, quick
-        )
-    return fig
+        panels.append((
+            f"{throughput:.0f} msgs/s",
+            _panel_sweep(f"fig1/{throughput:.0f}", variants, 3, SETUP_1,
+                         [throughput], payloads, quick, options),
+            "payload",
+        ))
+    return _run_panels(fig, panels, options)
 
 
 def figure2_table() -> list[dict]:
@@ -190,7 +246,9 @@ def figure2_table() -> list[dict]:
     return rows
 
 
-def figure3(quick: bool = True) -> FigureData:
+def figure3(
+    quick: bool = True, options: SuiteOptions = _DEFAULT_OPTIONS
+) -> FigureData:
     """Latency vs throughput, 1-byte payload: indirect vs faulty (Setup 1)."""
     throughputs = [100.0, 400.0, 800.0] if quick else [
         25.0, 50.0, 100.0, 200.0, 400.0, 600.0, 800.0,
@@ -201,14 +259,20 @@ def figure3(quick: bool = True) -> FigureData:
         title="Latency vs throughput, 1 B payload (indirect vs faulty consensus)",
         xlabel="throughput [msgs/s]",
     )
+    panels = []
     for n in (3, 5):
-        fig.panels[f"n = {n} processes"] = _throughput_panel(
-            variants, n, SETUP_1, throughputs, 1, quick
-        )
-    return fig
+        panels.append((
+            f"n = {n} processes",
+            _panel_sweep(f"fig3/n{n}", variants, n, SETUP_1,
+                         throughputs, [1], quick, options),
+            "throughput",
+        ))
+    return _run_panels(fig, panels, options)
 
 
-def figure4(quick: bool = True) -> FigureData:
+def figure4(
+    quick: bool = True, options: SuiteOptions = _DEFAULT_OPTIONS
+) -> FigureData:
     """Latency vs payload, n=5: indirect vs faulty at four throughputs."""
     payloads = [1, 2500, 5000] if quick else [1, 1000, 2000, 3000, 4000, 5000]
     variants = ["Indirect consensus", "(Faulty) Consensus"]
@@ -217,14 +281,20 @@ def figure4(quick: bool = True) -> FigureData:
         title="Latency vs payload, n=5 (indirect vs faulty consensus)",
         xlabel="size of messages [bytes]",
     )
+    panels = []
     for throughput in (10.0, 100.0, 400.0, 800.0):
-        fig.panels[f"{throughput:.0f} msgs/s"] = _payload_panel(
-            variants, 5, SETUP_1, throughput, payloads, quick
-        )
-    return fig
+        panels.append((
+            f"{throughput:.0f} msgs/s",
+            _panel_sweep(f"fig4/{throughput:.0f}", variants, 5, SETUP_1,
+                         [throughput], payloads, quick, options),
+            "payload",
+        ))
+    return _run_panels(fig, panels, options)
 
 
-def figure5(quick: bool = True) -> FigureData:
+def figure5(
+    quick: bool = True, options: SuiteOptions = _DEFAULT_OPTIONS
+) -> FigureData:
     """Latency vs payload, n=3, Setup 2: indirect+RB O(n^2) vs URB+consensus."""
     payloads = [1, 1250, 2500] if quick else [1, 500, 1000, 1500, 2000, 2500]
     variants = [
@@ -236,14 +306,20 @@ def figure5(quick: bool = True) -> FigureData:
         title="Latency vs payload, n=3, Setup 2 (RB uses O(n^2) messages)",
         xlabel="size of messages [bytes]",
     )
+    panels = []
     for throughput in (500.0, 1500.0, 2000.0):
-        fig.panels[f"{throughput:.0f} msgs/s"] = _payload_panel(
-            variants, 3, SETUP_2, throughput, payloads, quick
-        )
-    return fig
+        panels.append((
+            f"{throughput:.0f} msgs/s",
+            _panel_sweep(f"fig5/{throughput:.0f}", variants, 3, SETUP_2,
+                         [throughput], payloads, quick, options),
+            "payload",
+        ))
+    return _run_panels(fig, panels, options)
 
 
-def figure6(quick: bool = True) -> FigureData:
+def figure6(
+    quick: bool = True, options: SuiteOptions = _DEFAULT_OPTIONS
+) -> FigureData:
     """Latency vs payload, n=3, Setup 2: indirect+RB O(n) vs URB+consensus."""
     payloads = [1, 1250, 2500] if quick else [1, 500, 1000, 1500, 2000, 2500]
     variants = [
@@ -255,14 +331,20 @@ def figure6(quick: bool = True) -> FigureData:
         title="Latency vs payload, n=3, Setup 2 (RB uses O(n) messages)",
         xlabel="size of messages [bytes]",
     )
+    panels = []
     for throughput in (500.0, 1500.0, 2000.0):
-        fig.panels[f"{throughput:.0f} msgs/s"] = _payload_panel(
-            variants, 3, SETUP_2, throughput, payloads, quick
-        )
-    return fig
+        panels.append((
+            f"{throughput:.0f} msgs/s",
+            _panel_sweep(f"fig6/{throughput:.0f}", variants, 3, SETUP_2,
+                         [throughput], payloads, quick, options),
+            "payload",
+        ))
+    return _run_panels(fig, panels, options)
 
 
-def figure7(quick: bool = True) -> FigureData:
+def figure7(
+    quick: bool = True, options: SuiteOptions = _DEFAULT_OPTIONS
+) -> FigureData:
     """Latency vs throughput, n=3, Setup 2, 1-byte payload."""
     throughputs = [500.0, 1250.0, 2000.0] if quick else [
         500.0, 750.0, 1000.0, 1250.0, 1500.0, 1750.0, 2000.0,
@@ -272,24 +354,40 @@ def figure7(quick: bool = True) -> FigureData:
         title="Latency vs throughput, n=3, Setup 2, 1 B payload",
         xlabel="throughput [msgs/s]",
     )
-    fig.panels["RB in O(n^2) messages"] = _throughput_panel(
-        ["Indirect consensus w/ rbcast O(n^2)", "Consensus w/ uniform rbcast"],
-        3, SETUP_2, throughputs, 1, quick,
-    )
-    fig.panels["RB in O(n) messages"] = _throughput_panel(
-        ["Indirect consensus w/ rbcast O(n)", "Consensus w/ uniform rbcast"],
-        3, SETUP_2, throughputs, 1, quick,
-    )
-    return fig
+    panels = [
+        (
+            "RB in O(n^2) messages",
+            _panel_sweep(
+                "fig7/flood",
+                ["Indirect consensus w/ rbcast O(n^2)",
+                 "Consensus w/ uniform rbcast"],
+                3, SETUP_2, throughputs, [1], quick, options,
+            ),
+            "throughput",
+        ),
+        (
+            "RB in O(n) messages",
+            _panel_sweep(
+                "fig7/sender",
+                ["Indirect consensus w/ rbcast O(n)",
+                 "Consensus w/ uniform rbcast"],
+                3, SETUP_2, throughputs, [1], quick, options,
+            ),
+            "throughput",
+        ),
+    ]
+    return _run_panels(fig, panels, options)
 
 
-def all_figures(quick: bool = True) -> list[FigureData]:
+def all_figures(
+    quick: bool = True, options: SuiteOptions = _DEFAULT_OPTIONS
+) -> list[FigureData]:
     """Every measured figure of the paper, in order."""
     return [
-        figure1(quick),
-        figure3(quick),
-        figure4(quick),
-        figure5(quick),
-        figure6(quick),
-        figure7(quick),
+        figure1(quick, options),
+        figure3(quick, options),
+        figure4(quick, options),
+        figure5(quick, options),
+        figure6(quick, options),
+        figure7(quick, options),
     ]

@@ -1,10 +1,11 @@
-"""ASCII rendering of reproduced figures and tables."""
+"""ASCII rendering of reproduced figures, tables, and suite summaries."""
 
 from __future__ import annotations
 
 from typing import Iterable, Mapping
 
 from repro.harness.figures import FigureData, Series
+from repro.harness.runner import SuiteResult
 
 
 def render_table(rows: Iterable[Mapping], title: str | None = None) -> str:
@@ -47,6 +48,16 @@ def render_figure(figure: FigureData) -> str:
         blocks.append("")
         blocks.append(render_table(_series_rows(series), title=f"-- {panel} --"))
     return "\n".join(blocks)
+
+
+def render_suite(suite: SuiteResult, title: str | None = None) -> str:
+    """Render a :func:`~repro.harness.runner.run_suite` outcome.
+
+    One row per experiment (the flat ``row()`` summaries) followed by
+    the cache/wall accounting line.
+    """
+    table = render_table(suite.rows(), title=title)
+    return f"{table}\n[{suite.summary()}]"
 
 
 def crossover_summary(series_a: Series, series_b: Series) -> str:

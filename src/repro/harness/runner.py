@@ -1,0 +1,412 @@
+"""Parallel suite execution with a content-addressed result cache.
+
+:func:`run_suite` takes a :class:`~repro.harness.suite.SweepSpec` (or a
+flat list of :class:`~repro.harness.experiment.ExperimentSpec`) and:
+
+1. looks each point up in an on-disk cache keyed by a stable hash of
+   the spec's *physical* content (everything except the display name),
+   so re-running a figure only computes missing points — and two
+   figures that share a configuration share the cached result;
+2. fans the missing points out over a ``multiprocessing`` pool (specs
+   and results are frozen dataclasses of primitives, hence
+   pickle-clean), falling back to in-process execution for anything
+   that cannot cross a process boundary (e.g. a spec with a lambda
+   ``delay_fn``);
+3. stores the computed results atomically and returns everything in
+   input order.
+
+Determinism: ``run_experiment`` is a pure function of its spec (all
+randomness flows from the seeded RNG registry), so a point computed in
+a worker process is bit-for-bit identical to one computed serially —
+asserted in ``tests/harness/test_runner.py``.  Only the wall-clock
+``wall_seconds`` diagnostic differs between runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.harness.experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+)
+from repro.harness.suite import SweepSpec, expand
+
+
+class SuiteError(RuntimeError):
+    """One or more suite points failed.
+
+    ``stored`` reports how many completed sibling points made it into
+    the cache before the error surfaced; those are not recomputed on a
+    re-run.
+    """
+
+    def __init__(self, failures: list[str], stored: int = 0) -> None:
+        self.failures = failures
+        self.stored = stored
+        summary = "; ".join(failures[:3])
+        if len(failures) > 3:
+            summary += f"; ... ({len(failures)} failures total)"
+        if stored:
+            recovery = (
+                f"{stored} completed point(s) were cached and survive a re-run"
+            )
+        else:
+            recovery = "no completed point could be cached"
+        super().__init__(
+            f"{len(failures)} experiment(s) failed ({recovery}): {summary}"
+        )
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Bump on result-format changes that a source fingerprint alone cannot
+#: express (e.g. reinterpreting an existing field).  Numeric-behaviour
+#: changes are covered automatically: the cache key folds in a content
+#: hash of the whole ``repro`` source tree, so any code edit invalidates
+#: old entries instead of serving stale figures.
+CACHE_VERSION = 1
+
+#: Default cache location; override per call or via ``REPRO_CACHE_DIR``.
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-sweeps"
+
+
+# ----------------------------------------------------------------------
+# Stable spec hashing
+# ----------------------------------------------------------------------
+
+_code_fingerprint_cache: str | None = None
+
+
+def _code_fingerprint() -> str:
+    """Content hash of every ``repro`` source file (memoised per process).
+
+    Editing any simulation code changes the fingerprint, so cached
+    results computed by older code miss automatically — a reproduction
+    must never serve figures from a stale implementation.
+    """
+    global _code_fingerprint_cache
+    if _code_fingerprint_cache is None:
+        import repro
+
+        digest = hashlib.sha256()
+        package_root = Path(repro.__file__).parent
+        for source in sorted(package_root.rglob("*.py")):
+            digest.update(str(source.relative_to(package_root)).encode())
+            digest.update(source.read_bytes())
+        _code_fingerprint_cache = digest.hexdigest()
+    return _code_fingerprint_cache
+
+
+def spec_key(spec: ExperimentSpec) -> str | None:
+    """Stable content hash of a spec, or ``None`` if uncacheable.
+
+    The hash covers every field that influences the simulation —
+    ``name`` is excluded, it is presentation only — plus
+    :data:`CACHE_VERSION` and the :func:`_code_fingerprint` of the
+    installed ``repro`` sources.  A spec carrying a non-serialisable
+    field (a ``delay_fn`` callable) has no stable content hash and is
+    reported uncacheable.
+    """
+    data = dataclasses.asdict(spec)
+    data.pop("name")
+    try:
+        blob = json.dumps(
+            {
+                "version": CACHE_VERSION,
+                "code": _code_fingerprint(),
+                "spec": data,
+            },
+            sort_keys=True,
+        )
+    except TypeError:
+        return None
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed pickle store of experiment results."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, spec: ExperimentSpec) -> Path | None:
+        key = spec_key(spec)
+        return None if key is None else self.root / f"{key}.pkl"
+
+    def load(self, spec: ExperimentSpec) -> ExperimentResult | None:
+        """Return the cached result for ``spec``, or ``None`` on a miss.
+
+        The stored spec's display name may differ from ``spec.name``
+        (the hash ignores names); the returned result carries the
+        caller's spec so reports label points correctly.
+        """
+        path = self.path_for(spec)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                result: ExperimentResult = pickle.load(fh)
+            return replace(result, spec=spec)
+        except Exception:
+            # Corrupt or stale entry (truncated write, a pickle
+            # referencing since-renamed classes, or an old result
+            # schema that fails re-validation): recompute and overwrite.
+            return None
+
+    def store(self, spec: ExperimentSpec, result: ExperimentResult) -> bool:
+        """Persist ``result`` under ``spec``'s key (atomic). False if uncacheable."""
+        path = self.path_for(spec)
+        if path is None:
+            return False
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return True
+
+
+# ----------------------------------------------------------------------
+# Parallel map
+# ----------------------------------------------------------------------
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    processes: int | None = None,
+) -> list[_R]:
+    """``[fn(x) for x in items]`` across a process pool, order preserved.
+
+    Serial fallback when a pool cannot help (one item, one worker) or
+    cannot work (``fn``/items that do not pickle).  Used by
+    :func:`run_suite` and directly by scenario scripts that fan out
+    whole staged runs (``examples/faulty_vs_indirect.py``).
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = processes if processes is not None else os.cpu_count() or 1
+    workers = max(1, min(workers, len(items)))
+    if workers == 1:
+        return [fn(item) for item in items]
+    try:
+        pickle.dumps(fn)
+    except Exception:
+        return [fn(item) for item in items]
+    poolable: list[int] = []
+    for index, item in enumerate(items):
+        try:
+            pickle.dumps(item)
+        except Exception:
+            continue
+        poolable.append(index)
+    results: list[_R | None] = [None] * len(items)
+    if len(poolable) > 1:
+        # Platform-default start method: fork is unsafe on macOS (and
+        # from threaded processes generally), and spawn/forkserver work
+        # because everything shipped to workers is pickle-clean.
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(min(workers, len(poolable))) as pool:
+            mapped = pool.map(
+                fn, [items[i] for i in poolable], chunksize=1
+            )
+        for index, result in zip(poolable, mapped):
+            results[index] = result
+        poolable_set = set(poolable)
+    else:
+        poolable_set = set()
+    for index, item in enumerate(items):
+        if index not in poolable_set:
+            results[index] = fn(item)
+    return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Suite runner
+# ----------------------------------------------------------------------
+
+
+def _run_checked(spec: ExperimentSpec) -> ExperimentResult | str:
+    """Run one point; return an error description instead of raising.
+
+    Exceptions must not cross the pool boundary as-is: one degenerate
+    point would abort ``pool.map`` and discard every completed sibling.
+    """
+    try:
+        return run_experiment(spec)
+    except Exception as exc:
+        return f"{spec.name}: {type(exc).__name__}: {exc}"
+
+
+@dataclass
+class SuiteResult:
+    """Outcome of one :func:`run_suite` call.
+
+    ``results`` is aligned with ``specs`` (the expanded input order).
+    Accounting: ``cache_hits`` counts points served without a fresh
+    simulation — from disk, or from another point of the *same call*
+    with an identical content hash; ``cache_misses`` counts unique
+    points actually computed (and stored when possible);
+    ``uncacheable`` counts computed points with no content hash
+    (e.g. a ``delay_fn``).  The three always sum to ``len(self)``.
+    """
+
+    specs: list[ExperimentSpec]
+    results: list[ExperimentResult]
+    cache_hits: int
+    cache_misses: int
+    uncacheable: int
+    wall_seconds: float
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def pairs(self) -> list[tuple[ExperimentSpec, ExperimentResult]]:
+        return list(zip(self.specs, self.results))
+
+    def by_name(self) -> dict[str, ExperimentResult]:
+        """Index results by experiment name (names are unique per suite)."""
+        return {spec.name: result for spec, result in self.pairs()}
+
+    def rows(self) -> list[dict]:
+        """Flat per-point summaries, ready for ``render_table``."""
+        return [result.row() for result in self.results]
+
+    def summary(self) -> str:
+        """One line for progress output and CI logs."""
+        parts = [f"{len(self)} points", f"{self.cache_hits} cached"]
+        computed = len(self) - self.cache_hits
+        parts.append(f"{computed} computed")
+        if self.uncacheable:
+            parts.append(f"{self.uncacheable} uncacheable")
+        return f"{', '.join(parts)} in {self.wall_seconds:.1f}s"
+
+
+def run_suite(
+    suite: SweepSpec | Iterable[SweepSpec] | Sequence[ExperimentSpec],
+    *,
+    processes: int | None = None,
+    cache_dir: Path | str | None = None,
+    use_cache: bool = True,
+) -> SuiteResult:
+    """Execute a sweep (or explicit spec list), cached and in parallel.
+
+    Args:
+        suite: A :class:`SweepSpec`, a sequence of them, or an already
+            expanded sequence of :class:`ExperimentSpec`.
+        processes: Pool size; ``None`` = one worker per CPU (capped at
+            the number of points to run), ``1`` = fully serial.
+        cache_dir: Result cache location; ``None`` uses
+            ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-sweeps``.  An
+            unwritable location degrades gracefully: everything runs
+            live and nothing is stored.
+        use_cache: Disable to force recomputation (results are still
+            stored unless the spec is uncacheable).  Points that are
+            physically identical within one call are computed once
+            either way.
+
+    Returns:
+        A :class:`SuiteResult` with results in input order plus cache
+        accounting.
+
+    Raises:
+        SuiteError: If any point fails.  Completed sibling points are
+            stored first whenever the cache is usable (see the error's
+            ``stored`` count), so a re-run after fixing the cause
+            recomputes only the failed and uncacheable points.
+    """
+    started = time.perf_counter()
+    if isinstance(suite, SweepSpec):
+        specs = list(suite.experiments())
+    else:
+        suite = list(suite)
+        if suite and isinstance(suite[0], SweepSpec):
+            specs = list(expand(suite))
+        else:
+            specs = list(suite)  # type: ignore[arg-type]
+
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    try:
+        cache: ResultCache | None = ResultCache(cache_dir)
+    except OSError:
+        cache = None  # unwritable cache location: run everything live
+
+    results: list[ExperimentResult | None] = [None] * len(specs)
+    # Points sharing a content hash are computed once per call;
+    # repeats of an already-grouped key count as cache hits below.
+    pending: dict[object, list[tuple[int, ExperimentSpec]]] = {}
+    hits = 0
+    for index, spec in enumerate(specs):
+        cached = cache.load(spec) if (use_cache and cache) else None
+        if cached is not None:
+            results[index] = cached
+            hits += 1
+            continue
+        key: object = spec_key(spec)
+        if key is None:
+            key = ("uncacheable", index)  # no content hash: never dedupe
+        pending.setdefault(key, []).append((index, spec))
+
+    groups = list(pending.items())
+    computed = parallel_map(
+        _run_checked,
+        [group[0][1] for _, group in groups],
+        processes=processes,
+    )
+
+    misses = 0
+    uncacheable = 0
+    stored_count = 0
+    failures: list[str] = []
+    for (key, group), outcome in zip(groups, computed):
+        _, first_spec = group[0]
+        if isinstance(outcome, str):
+            # The point failed; siblings keep their results (and their
+            # cache entries), so a re-run recomputes only this point.
+            failures.append(outcome)
+            continue
+        # Uncacheable groups carry a sentinel tuple key (built above);
+        # cacheable ones carry their content hash.
+        if isinstance(key, tuple):
+            uncacheable += 1
+        else:
+            misses += 1
+            if cache is not None:
+                try:
+                    if cache.store(first_spec, outcome):
+                        stored_count += 1
+                except OSError:
+                    cache = None  # went unwritable mid-run: keep results
+        for position, (index, spec) in enumerate(group):
+            if position == 0:
+                results[index] = outcome
+            else:
+                results[index] = replace(outcome, spec=spec)
+                hits += 1
+
+    if failures:
+        raise SuiteError(failures, stored=stored_count)
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:  # every index is a hit or in exactly one pending group
+        raise RuntimeError(f"run_suite lost results for indices {missing}")
+    return SuiteResult(
+        specs=specs,
+        results=results,  # type: ignore[arg-type]
+        cache_hits=hits,
+        cache_misses=misses,
+        uncacheable=uncacheable,
+        wall_seconds=time.perf_counter() - started,
+    )

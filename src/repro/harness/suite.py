@@ -1,0 +1,165 @@
+"""Declarative experiment sweeps.
+
+The paper's evaluation is a grid: stacks × throughputs × payloads (×
+seeds for repetitions).  A :class:`SweepSpec` states that grid once,
+declaratively, and expands it into concrete
+:class:`~repro.harness.experiment.ExperimentSpec` points via
+:meth:`SweepSpec.experiments`.  Execution is someone else's job —
+:func:`repro.harness.runner.run_suite` runs the expanded points across
+a process pool with result caching.
+
+Example::
+
+    from repro.harness.suite import SweepSpec
+    from repro.harness.runner import run_suite
+    from repro.stack.builder import StackSpec
+
+    sweep = SweepSpec(
+        name="fig1-low",
+        variants=(
+            ("indirect", StackSpec(n=3, abcast="indirect",
+                                   consensus="ct-indirect", rb="sender")),
+            ("messages", StackSpec(n=3, abcast="on-messages",
+                                   consensus="ct", rb="sender")),
+        ),
+        throughputs=(100.0,),
+        payloads=(1, 2500, 5000),
+    )
+    suite = run_suite(sweep)
+    for spec, result in zip(sweep.experiments(), suite.results):
+        print(spec.name, result.mean_latency_ms)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.core.exceptions import ConfigurationError
+from repro.harness.experiment import ExperimentSpec
+from repro.stack.builder import StackSpec
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid of performance experiments.
+
+    The expansion order is fixed and documented — variant, then seed,
+    then throughput, then payload — so result lists returned by
+    :func:`~repro.harness.runner.run_suite` line up with
+    :meth:`experiments` deterministically.
+
+    Attributes:
+        name: Sweep label; prefixes every generated experiment name.
+        variants: ``(label, stack)`` pairs.  Each stack is a template;
+            its ``seed`` field is overridden by the sweep's seed axis.
+        throughputs: Global abroadcast rates to sweep (messages/second).
+        payloads: Payload sizes to sweep (bytes).
+        seeds: Seeds for repetitions (one run per seed per grid point).
+        target_messages: Messages to send inside the measurement window
+            of each run; the sending window is derived per point as
+            ``warmup + target_messages / throughput`` so every point
+            measures comparably many messages.
+        warmup: Seconds excluded at the start of each run.
+        drain: Extra simulated seconds for in-flight deliveries.
+        arrivals: ``"poisson"`` | ``"uniform"``.
+        trace_mode: ``"full"`` (checkable event trace) or ``"metrics"``
+            (streaming latency accumulators; cheap on long runs).
+        safety_checks: Run the abcast safety checkers on each point.
+            ``None`` (default) means "on exactly when the trace is
+            full" — metrics mode cannot be checked.
+        max_events: Per-run engine runaway guard.
+    """
+
+    name: str
+    variants: tuple[tuple[str, StackSpec], ...]
+    throughputs: tuple[float, ...]
+    payloads: tuple[int, ...]
+    seeds: tuple[int, ...] = (0,)
+    target_messages: int = 120
+    warmup: float = 0.1
+    drain: float = 0.5
+    arrivals: str = "poisson"
+    trace_mode: str = "full"
+    safety_checks: bool | None = None
+    max_events: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        # Accept any sequences on the axes; canonicalise to tuples so
+        # the spec stays hashable and pickle-clean.
+        object.__setattr__(self, "variants", tuple(
+            (str(label), stack) for label, stack in self.variants
+        ))
+        for axis in ("throughputs", "payloads", "seeds"):
+            object.__setattr__(self, axis, tuple(getattr(self, axis)))
+        if not self.variants:
+            raise ConfigurationError("SweepSpec needs at least one variant")
+        for axis in ("throughputs", "payloads", "seeds"):
+            if not getattr(self, axis):
+                raise ConfigurationError(f"SweepSpec.{axis} must be non-empty")
+        labels = [label for label, _ in self.variants]
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(f"duplicate variant labels in {labels}")
+        if any(t <= 0 for t in self.throughputs):
+            raise ConfigurationError("throughputs must be > 0")
+        if self.target_messages <= 0:
+            raise ConfigurationError("target_messages must be > 0")
+        if self.trace_mode not in ("full", "metrics"):
+            raise ConfigurationError(
+                f"unknown trace_mode {self.trace_mode!r}"
+            )
+        if self.safety_checks and self.trace_mode == "metrics":
+            raise ConfigurationError(
+                "safety_checks=True requires trace_mode='full'"
+            )
+
+    def __len__(self) -> int:
+        """Number of grid points the sweep expands to."""
+        return (
+            len(self.variants)
+            * len(self.seeds)
+            * len(self.throughputs)
+            * len(self.payloads)
+        )
+
+    def experiments(self) -> tuple[ExperimentSpec, ...]:
+        """Expand the grid into concrete experiment specs, in order."""
+        checks = (
+            self.trace_mode == "full"
+            if self.safety_checks is None
+            else self.safety_checks
+        )
+        specs = []
+        for label, stack in self.variants:
+            for seed in self.seeds:
+                seeded = replace(stack, seed=seed)
+                for throughput in self.throughputs:
+                    duration = self.warmup + self.target_messages / throughput
+                    for payload in self.payloads:
+                        specs.append(ExperimentSpec(
+                            name=(
+                                f"{self.name}/{label} n={seeded.n} "
+                                f"{throughput:g}msg/s {payload}B seed={seed}"
+                            ),
+                            stack=seeded,
+                            throughput=throughput,
+                            payload=payload,
+                            duration=duration,
+                            warmup=self.warmup,
+                            drain=self.drain,
+                            arrivals=self.arrivals,
+                            safety_checks=checks,
+                            trace_mode=self.trace_mode,
+                            max_events=self.max_events,
+                        ))
+        return tuple(specs)
+
+
+def expand(sweeps: Iterable[SweepSpec] | SweepSpec) -> tuple[ExperimentSpec, ...]:
+    """Expand one sweep or a sequence of sweeps into one flat spec list."""
+    if isinstance(sweeps, SweepSpec):
+        return sweeps.experiments()
+    specs: list[ExperimentSpec] = []
+    for sweep in sweeps:
+        specs.extend(sweep.experiments())
+    return tuple(specs)

@@ -9,7 +9,17 @@ warmup/cooldown trimming; :mod:`repro.metrics.stats` provides the
 summary statistics the harness reports.
 """
 
-from repro.metrics.latency import LatencyReport, measure_latency
+from repro.metrics.latency import (
+    LatencyReport,
+    measure_latency,
+    report_from_metrics,
+)
 from repro.metrics.stats import SummaryStats, summarize
 
-__all__ = ["LatencyReport", "SummaryStats", "measure_latency", "summarize"]
+__all__ = [
+    "LatencyReport",
+    "SummaryStats",
+    "measure_latency",
+    "report_from_metrics",
+    "summarize",
+]

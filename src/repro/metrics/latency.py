@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.core.config import SystemConfig
 from repro.core.exceptions import ConfigurationError
 from repro.metrics.stats import SummaryStats, summarize
-from repro.sim.trace import Trace
+from repro.sim.trace import MetricsTrace, Trace
 
 
 @dataclass(frozen=True)
@@ -92,5 +92,40 @@ def measure_latency(
         stats=summarize(samples),
         messages_measured=len(measured),
         messages_fully_delivered=fully,
+        samples=tuple(samples),
+    )
+
+
+def report_from_metrics(
+    trace: MetricsTrace, config: SystemConfig
+) -> LatencyReport:
+    """Build the latency report from a streaming :class:`MetricsTrace`.
+
+    The measurement window (warmup/cutoff) was applied at record time;
+    this only restricts the accumulated samples to correct processes and
+    summarizes.  On the same run it agrees with :func:`measure_latency`
+    over a full trace measured with the same window.
+
+    Raises:
+        ConfigurationError: If no message fell inside the window, or no
+            measured message was delivered — same contract as
+            :func:`measure_latency`.
+    """
+    correct = trace.correct_processes(config.processes)
+    if trace.messages_measured() == 0:
+        raise ConfigurationError(
+            f"no messages in the measurement window (warmup={trace.warmup}, "
+            f"cutoff={trace.cutoff}); lengthen the run"
+        )
+    samples = trace.samples_for(correct)
+    if not samples:
+        raise ConfigurationError(
+            "no measured message was adelivered; the run is too short "
+            "or the stack is stuck"
+        )
+    return LatencyReport(
+        stats=summarize(samples),
+        messages_measured=trace.messages_measured(),
+        messages_fully_delivered=trace.fully_delivered(correct),
         samples=tuple(samples),
     )

@@ -14,8 +14,10 @@ Components:
   queues used to model CPUs and the shared network medium.
 * :class:`~repro.sim.process.SimProcess` — the per-process shell: crash
   state, timers, and the mount point for protocol layers.
-* :class:`~repro.sim.trace.Trace` — the protocol-event trace consumed by
-  the checkers and the metrics pipeline.
+* :class:`~repro.sim.trace.TraceObserver` — the event-sink interface,
+  with two implementations: the full :class:`~repro.sim.trace.Trace`
+  consumed by the checkers, and the streaming
+  :class:`~repro.sim.trace.MetricsTrace` used by pure performance runs.
 
 Determinism is a hard guarantee: two runs with identical configuration and
 seeds produce identical traces (asserted in ``tests/sim/test_determinism.py``).
@@ -25,13 +27,15 @@ from repro.sim.engine import Engine, EventHandle
 from repro.sim.process import SimProcess
 from repro.sim.resources import FifoResource
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import Trace
+from repro.sim.trace import MetricsTrace, Trace, TraceObserver
 
 __all__ = [
     "Engine",
     "EventHandle",
     "FifoResource",
+    "MetricsTrace",
     "RngRegistry",
     "SimProcess",
     "Trace",
+    "TraceObserver",
 ]

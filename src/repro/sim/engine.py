@@ -6,26 +6,35 @@ engine only guarantees that callbacks fire in non-decreasing time order
 and that ties are broken by scheduling order, which — together with the
 named RNG streams of :mod:`repro.sim.rng` — makes whole simulations
 bit-for-bit reproducible.
+
+Heap entries are plain ``(time, seq, record)`` tuples: every sift in
+``heappush``/``heappop`` compares the leading float (and, on a tie, the
+int), so ordering never dispatches into Python-level ``__lt__`` of a
+dataclass — a measurable win on the simulation hot path (see
+``benchmarks/test_engine_heap.py``).  The trailing ``_EventRecord``
+never takes part in comparisons because ``(time, seq)`` is unique.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core.exceptions import ConfigurationError
 
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    """Heap entry: fire ``fn(*args)`` at ``time``; ``seq`` breaks ties."""
+class _EventRecord:
+    """Mutable payload of a heap entry: the callback and its cancel flag."""
 
-    time: float
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(
+        self, time: float, fn: Callable[..., None], args: tuple[Any, ...]
+    ) -> None:
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
 
 
 class EventHandle:
@@ -33,7 +42,7 @@ class EventHandle:
 
     __slots__ = ("_event",)
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _EventRecord) -> None:
         self._event = event
 
     def cancel(self) -> None:
@@ -67,7 +76,7 @@ class Engine:
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._heap: list[_ScheduledEvent] = []
+        self._heap: list[tuple[float, int, _EventRecord]] = []
         self._running = False
         #: Number of callbacks executed so far (diagnostics / runaway guard).
         self.events_executed = 0
@@ -94,13 +103,13 @@ class Engine:
                 f"cannot schedule at {time}, current time is {self._now}"
             )
         self._seq += 1
-        event = _ScheduledEvent(time=time, seq=self._seq, fn=fn, args=args)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        record = _EventRecord(time, fn, args)
+        heapq.heappush(self._heap, (time, self._seq, record))
+        return EventHandle(record)
 
     def pending(self) -> int:
         """Number of not-yet-cancelled events still in the queue."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for _, _, record in self._heap if not record.cancelled)
 
     def run(
         self,
@@ -127,16 +136,16 @@ class Engine:
         executed = 0
         try:
             while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
+                time, _, record = self._heap[0]
+                if record.cancelled:
                     heapq.heappop(self._heap)
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     self._now = until
                     break
                 heapq.heappop(self._heap)
-                self._now = event.time
-                event.fn(*event.args)
+                self._now = time
+                record.fn(*record.args)
                 self.events_executed += 1
                 executed += 1
                 if max_events is not None and executed >= max_events:

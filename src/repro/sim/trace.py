@@ -1,10 +1,23 @@
-"""Protocol-event traces.
+"""Protocol-event observers: full traces and streaming metrics.
 
-A :class:`Trace` accumulates the :class:`~repro.core.events.ProtocolEvent`
-records emitted by every layer of every process during a run.  It is the
-single source of truth for both correctness checking (the properties of
-the paper are predicates over traces) and metrics (delivery latency is a
-function of matching ``ABroadcastEvent``/``ADeliverEvent`` pairs).
+Every layer of every process emits
+:class:`~repro.core.events.ProtocolEvent` records into a single
+:class:`TraceObserver`.  Two implementations exist:
+
+* :class:`Trace` — the full, append-only event list plus per-kind
+  indexes.  It is the single source of truth for correctness checking
+  (the properties of the paper are predicates over traces) and for
+  post-hoc analysis; checkers and scenario tests require it.
+
+* :class:`MetricsTrace` — a streaming observer for pure performance
+  runs.  It folds matching ``ABroadcastEvent``/``ADeliverEvent`` pairs
+  into per-process latency accumulators *as they happen* and retains no
+  event list, so a long high-throughput sweep costs O(messages) memory
+  instead of O(events) (each message generates O(n²) protocol events
+  below it).
+
+``build_system`` accepts either; ``run_experiment`` picks one from the
+experiment's ``trace_mode``.
 """
 
 from __future__ import annotations
@@ -25,7 +38,33 @@ from repro.core.events import (
 from repro.core.identifiers import MessageId, ProcessId
 
 
-class Trace:
+class TraceObserver:
+    """Sink for protocol events emitted during a run.
+
+    The engine-facing contract is a single method: :meth:`record` is
+    called once per event, in simulated-time order (the engine is
+    single-threaded).  Implementations decide what to retain.
+    """
+
+    def record(self, event: ProtocolEvent) -> None:
+        raise NotImplementedError
+
+    def crashes(self) -> dict[ProcessId, CrashEvent]:
+        """Map of crashed process -> crash event."""
+        raise NotImplementedError
+
+    def instances(self) -> list[int]:
+        """All consensus instance numbers that reached a decision."""
+        raise NotImplementedError
+
+    def correct_processes(
+        self, all_processes: Iterator[ProcessId] | tuple
+    ) -> frozenset[ProcessId]:
+        """Processes that never crashed during the run."""
+        return frozenset(p for p in all_processes if p not in self.crashes())
+
+
+class Trace(TraceObserver):
     """Append-only, time-ordered record of protocol events.
 
     Events arrive in simulated-time order because the engine is
@@ -144,3 +183,83 @@ class Trace:
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+class MetricsTrace(TraceObserver):
+    """Streaming latency accumulator — the trace for performance runs.
+
+    Instead of retaining events, it keeps only what the latency report
+    needs: the send time of each message abroadcast inside the
+    measurement window, per-process latency samples, which processes
+    delivered which measured message, decided instance numbers, and
+    crashes.  Everything else (r-broadcast/r-deliver/propose traffic,
+    which dominates event volume) is counted and dropped.
+
+    The window is fixed at construction because filtering must happen
+    at record time: ``warmup``/``cutoff`` have the same meaning as in
+    :func:`repro.metrics.latency.measure_latency`.  The resulting
+    numbers match a full :class:`Trace` measured with the same window
+    (asserted in ``tests/harness/test_runner.py``).
+    """
+
+    def __init__(self, warmup: float = 0.0, cutoff: float | None = None) -> None:
+        self.warmup = warmup
+        self.cutoff = cutoff
+        #: Total events observed (diagnostics; nothing is retained).
+        self.events_seen = 0
+        self._sent: dict[MessageId, float] = {}
+        self._samples: dict[ProcessId, list[float]] = defaultdict(list)
+        self._delivered_by: dict[MessageId, set[ProcessId]] = defaultdict(set)
+        self._decided: set[int] = set()
+        self._crashes: dict[ProcessId, CrashEvent] = {}
+
+    def record(self, event: ProtocolEvent) -> None:
+        self.events_seen += 1
+        if isinstance(event, ADeliverEvent):
+            sent = self._sent.get(event.message.mid)
+            if sent is not None:
+                self._samples[event.process].append(event.time - sent)
+                self._delivered_by[event.message.mid].add(event.process)
+        elif isinstance(event, ABroadcastEvent):
+            if event.time >= self.warmup and (
+                self.cutoff is None or event.time <= self.cutoff
+            ):
+                self._sent[event.message.mid] = event.time
+        elif isinstance(event, DecideEvent):
+            self._decided.add(event.instance)
+        elif isinstance(event, CrashEvent):
+            self._crashes[event.process] = event
+
+    # ------------------------------------------------------------------
+    # Accessors mirroring the Trace queries that performance runs use
+    # ------------------------------------------------------------------
+
+    def instances(self) -> list[int]:
+        return sorted(self._decided)
+
+    def crashes(self) -> dict[ProcessId, CrashEvent]:
+        return dict(self._crashes)
+
+    def messages_measured(self) -> int:
+        """Messages abroadcast inside the measurement window."""
+        return len(self._sent)
+
+    def samples_for(self, processes: frozenset[ProcessId]) -> list[float]:
+        """Latency samples of ``processes``, grouped by process id."""
+        return [
+            sample
+            for process in sorted(processes)
+            for sample in self._samples[process]
+        ]
+
+    def fully_delivered(self, correct: frozenset[ProcessId]) -> int:
+        """Measured messages adelivered by every process in ``correct``."""
+        empty: frozenset[ProcessId] = frozenset()
+        return sum(
+            1
+            for mid in self._sent
+            if correct <= self._delivered_by.get(mid, empty)
+        )
+
+    def __len__(self) -> int:
+        return self.events_seen

@@ -38,7 +38,7 @@ from repro.net.transport import Transport
 from repro.sim.engine import Engine
 from repro.sim.process import SimProcess
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceObserver
 
 #: abcast variant -> (abcast class, allowed consensus algorithms)
 _ABCAST_VARIANTS = {
@@ -79,6 +79,13 @@ class StackSpec:
         f: Crash tolerance; defaults to each algorithm's maximum.
         seed: Seed for all randomness in the run.
         constant_latency: One-way frame delay for the constant network.
+        constant_per_byte: Extra one-way delay per wire byte for the
+            constant network (``0.0`` = size-independent latency).
+        constant_jitter: Uniform extra delay in ``[0, jitter]`` seconds
+            per frame for the constant network, drawn from the
+            deterministic ``net.jitter`` RNG stream.  Ignored (like
+            ``constant_latency`` and ``constant_per_byte``) when
+            ``network="contention"``.
         drop_in_flight_on_crash: Lose frames still queued at a crashing
             sender (models lost socket buffers; needed by the
             Section 2.2 scenario).
@@ -97,6 +104,8 @@ class StackSpec:
     f: int | None = None
     seed: int = 0
     constant_latency: float = 100e-6
+    constant_per_byte: float = 0.0
+    constant_jitter: float = 0.0
     fd_detection_delay: float = 30e-3
     heartbeat_interval: float = 20e-3
     heartbeat_timeout: float = 100e-3
@@ -128,6 +137,9 @@ class StackSpec:
             raise ConfigurationError(f"unknown network {self.network!r}")
         if self.fd not in ("oracle", "heartbeat"):
             raise ConfigurationError(f"unknown fd {self.fd!r}")
+        for name in ("constant_latency", "constant_per_byte", "constant_jitter"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"StackSpec.{name} must be >= 0")
 
 
 @dataclass
@@ -137,7 +149,7 @@ class System:
     spec: StackSpec
     config: SystemConfig
     engine: Engine
-    trace: Trace
+    trace: TraceObserver
     rngs: RngRegistry
     network: ConstantLatencyNetwork | ContentionNetwork
     processes: dict[ProcessId, SimProcess]
@@ -179,8 +191,22 @@ class System:
         )
 
 
-def build_system(spec: StackSpec, crashes: CrashSchedule | None = None) -> System:
-    """Assemble a complete system from ``spec`` (and arm ``crashes``)."""
+def build_system(
+    spec: StackSpec,
+    crashes: CrashSchedule | None = None,
+    trace: TraceObserver | None = None,
+) -> System:
+    """Assemble a complete system from ``spec`` (and arm ``crashes``).
+
+    Args:
+        spec: The stack to build.
+        crashes: Crash schedule to arm (default: failure-free).
+        trace: Event sink for the run.  Defaults to a full
+            :class:`~repro.sim.trace.Trace`; pass a
+            :class:`~repro.sim.trace.MetricsTrace` for long performance
+            runs that only need latency numbers (checkers and scenario
+            queries require the full trace).
+    """
     consensus_cls = _CONSENSUS_CLASSES[spec.consensus]
     abcast_cls, _allowed = _ABCAST_VARIANTS[spec.abcast]
 
@@ -195,7 +221,8 @@ def build_system(spec: StackSpec, crashes: CrashSchedule | None = None) -> Syste
         crashes.validate_against(config)
 
     engine = Engine()
-    trace = Trace()
+    if trace is None:
+        trace = Trace()
     rngs = RngRegistry(seed=spec.seed)
 
     if spec.network == "contention":
@@ -208,7 +235,9 @@ def build_system(spec: StackSpec, crashes: CrashSchedule | None = None) -> Syste
         network = ConstantLatencyNetwork(
             engine,
             base=spec.constant_latency,
-            jitter=0.0,
+            per_byte=spec.constant_per_byte,
+            jitter=spec.constant_jitter,
+            rng=rngs.stream("net.jitter") if spec.constant_jitter > 0 else None,
             delay_fn=spec.delay_fn,
             drop_in_flight_of_crashed_sender=spec.drop_in_flight_on_crash,
         )

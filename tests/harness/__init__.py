@@ -1,0 +1,1 @@
+"""Test package marker: gives duplicate basenames unique module paths."""

@@ -87,3 +87,53 @@ class TestBuilderWiring:
         assert system.correct_processes() == {1, 2, 3}
         system.run(until=0.2)
         assert system.correct_processes() == {1, 3}
+
+    def test_custom_trace_observer_is_used(self):
+        from repro.sim.trace import MetricsTrace
+        observer = MetricsTrace()
+        system = build_system(StackSpec(n=3, network="constant"),
+                              trace=observer)
+        assert system.trace is observer
+        for process in system.processes.values():
+            assert process.trace is observer
+
+
+class TestConstantNetworkKnobs:
+    """``per_byte``/``jitter`` of the constant network, via StackSpec."""
+
+    def test_per_byte_and_jitter_reach_the_network(self):
+        system = build_system(StackSpec(
+            n=3, network="constant",
+            constant_latency=1e-3, constant_per_byte=1e-6,
+            constant_jitter=2e-4,
+        ))
+        assert system.network.base == 1e-3
+        assert system.network.per_byte == 1e-6
+        assert system.network.jitter == 2e-4
+        assert system.network.rng is system.rngs.stream("net.jitter")
+
+    def test_defaults_stay_deterministic(self):
+        system = build_system(StackSpec(n=3, network="constant"))
+        assert system.network.per_byte == 0.0
+        assert system.network.jitter == 0.0
+        assert system.network.rng is None
+
+    def test_jitter_is_reproducible_per_seed(self):
+        def delivery_times(seed):
+            from repro.core.message import make_payload
+            system = build_system(StackSpec(
+                n=3, network="constant", constant_jitter=5e-4, seed=seed,
+            ))
+            system.abcasts[1].abroadcast(make_payload(10, "m"))
+            system.run_until_delivered(count=1, timeout=1.0)
+            return [
+                e.time for e in system.trace.adeliveries()
+            ]
+        assert delivery_times(3) == delivery_times(3)
+        assert delivery_times(3) != delivery_times(4)
+
+    def test_negative_knobs_rejected(self):
+        for field in ("constant_latency", "constant_per_byte",
+                      "constant_jitter"):
+            with pytest.raises(ConfigurationError):
+                StackSpec(n=3, network="constant", **{field: -1e-6})

@@ -1,0 +1,293 @@
+"""Tests for the parallel suite runner: cache, pool, streaming metrics.
+
+These are the acceptance tests of the sweep subsystem: a ≥ 8-point grid
+executes through the multiprocessing pool, a second invocation serves
+every point from the on-disk cache, parallel results are bit-for-bit
+equal to serial ones, and a ``MetricsTrace`` run agrees with the
+full-``Trace`` run while retaining no event list.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.harness.experiment import ExperimentSpec, run_experiment
+from repro.harness.runner import (
+    ResultCache,
+    SuiteError,
+    _code_fingerprint,
+    parallel_map,
+    run_suite,
+    spec_key,
+)
+from repro.harness.suite import SweepSpec
+from repro.net.setups import SETUP_1
+from repro.stack.builder import StackSpec
+
+
+def stack(**overrides):
+    defaults = dict(n=3, abcast="indirect", consensus="ct-indirect",
+                    rb="sender", params=SETUP_1)
+    defaults.update(overrides)
+    return StackSpec(**defaults)
+
+
+def small_sweep(**overrides):
+    """8 quick points: 2 variants × 2 throughputs × 2 payloads."""
+    defaults = dict(
+        name="grid",
+        variants=(
+            ("indirect", stack()),
+            ("messages", stack(abcast="on-messages", consensus="ct")),
+        ),
+        throughputs=(200.0, 400.0),
+        payloads=(1, 500),
+        target_messages=40,
+        warmup=0.05,
+        drain=0.5,
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def exp_spec(**overrides):
+    defaults = dict(
+        name="one",
+        stack=stack(),
+        throughput=200.0,
+        payload=64,
+        duration=0.3,
+        warmup=0.05,
+        drain=0.5,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestSpecKey:
+    def test_stable_across_equal_specs(self):
+        assert spec_key(exp_spec()) == spec_key(exp_spec())
+
+    def test_name_does_not_affect_the_key(self):
+        assert spec_key(exp_spec(name="x")) == spec_key(exp_spec(name="y"))
+
+    def test_physical_fields_do_affect_the_key(self):
+        base = spec_key(exp_spec())
+        assert spec_key(exp_spec(payload=65)) != base
+        assert spec_key(exp_spec(stack=stack(seed=1))) != base
+        assert spec_key(exp_spec(trace_mode="metrics",
+                                 safety_checks=False)) != base
+
+    def test_delay_fn_specs_are_uncacheable(self):
+        spec = exp_spec(stack=stack(delay_fn=lambda frame: None))
+        assert spec_key(spec) is None
+
+    def test_key_incorporates_a_source_tree_fingerprint(self):
+        # The fingerprint is memoised and stable within a process; a
+        # code edit would change it and invalidate old cache entries.
+        fingerprint = _code_fingerprint()
+        assert fingerprint == _code_fingerprint()
+        assert len(fingerprint) == 64
+        assert int(fingerprint, 16) >= 0
+
+
+class TestResultCache:
+    def test_store_then_load_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = exp_spec()
+        result = run_experiment(spec)
+        assert cache.store(spec, result)
+        loaded = cache.load(spec)
+        assert loaded is not None
+        assert loaded.latency == result.latency
+        assert loaded.sent == result.sent
+
+    def test_load_rebinds_the_callers_spec_name(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = exp_spec(name="original")
+        cache.store(spec, run_experiment(spec))
+        renamed = dataclasses.replace(spec, name="renamed")
+        loaded = cache.load(renamed)
+        assert loaded is not None
+        assert loaded.spec.name == "renamed"
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = exp_spec()
+        cache.store(spec, run_experiment(spec))
+        cache.path_for(spec).write_bytes(b"not a pickle")
+        assert cache.load(spec) is None
+
+
+class TestRunSuite:
+    def test_grid_runs_through_pool_then_fully_cached(self, tmp_path):
+        sweep = small_sweep()
+        assert len(sweep) == 8
+        first = run_suite(sweep, cache_dir=tmp_path, processes=4)
+        assert len(first) == 8
+        assert first.cache_hits == 0
+        assert first.cache_misses == 8
+        # Second invocation: every point served from the on-disk cache.
+        second = run_suite(sweep, cache_dir=tmp_path, processes=4)
+        assert second.cache_hits == 8
+        assert second.cache_misses == 0
+        for a, b in zip(first.results, second.results):
+            assert a.latency == b.latency
+            assert a.sent == b.sent
+            assert a.frames_total == b.frames_total
+
+    def test_parallel_equals_serial_bit_for_bit(self, tmp_path):
+        sweep = small_sweep()
+        parallel = run_suite(sweep, cache_dir=tmp_path / "a", processes=4)
+        serial = run_suite(sweep, cache_dir=tmp_path / "b", processes=1)
+        for a, b in zip(parallel.results, serial.results):
+            # Everything but the wall-clock diagnostic is identical.
+            assert a.latency == b.latency
+            assert a.sent == b.sent
+            assert a.frames_total == b.frames_total
+            assert a.data_bytes == b.data_bytes
+            assert a.control_bytes == b.control_bytes
+            assert a.simulated_seconds == b.simulated_seconds
+            assert a.diagnostics["events"] == b.diagnostics["events"]
+
+    def test_results_align_with_input_order(self, tmp_path):
+        sweep = small_sweep()
+        suite = run_suite(sweep, cache_dir=tmp_path)
+        assert [s.name for s in suite.specs] == [
+            s.name for s in sweep.experiments()
+        ]
+        assert all(
+            result.spec.name == spec.name
+            for spec, result in suite.pairs()
+        )
+
+    def test_partial_cache_only_computes_missing_points(self, tmp_path):
+        half = small_sweep(payloads=(1,))
+        run_suite(half, cache_dir=tmp_path)
+        full = run_suite(small_sweep(), cache_dir=tmp_path)
+        assert full.cache_hits == 4
+        assert full.cache_misses == 4
+
+    def test_uncacheable_specs_still_run(self, tmp_path):
+        spec = exp_spec(stack=stack(delay_fn=lambda frame: None))
+        suite = run_suite([spec], cache_dir=tmp_path)
+        assert suite.uncacheable == 1
+        assert suite.cache_misses == 0
+        assert suite.results[0].sent > 0
+        # And they miss again: nothing was stored.
+        again = run_suite([spec], cache_dir=tmp_path)
+        assert again.cache_hits == 0
+
+    def test_use_cache_false_recomputes(self, tmp_path):
+        sweep = small_sweep(payloads=(1,))
+        run_suite(sweep, cache_dir=tmp_path)
+        fresh = run_suite(sweep, cache_dir=tmp_path, use_cache=False)
+        assert fresh.cache_hits == 0
+        assert fresh.cache_misses == len(sweep)
+
+    def test_summary_mentions_cache_accounting(self, tmp_path):
+        suite = run_suite(small_sweep(payloads=(1,)), cache_dir=tmp_path)
+        assert "4 points" in suite.summary()
+        assert "0 cached" in suite.summary()
+
+    def test_identical_points_computed_once_per_call(self, tmp_path):
+        # Same physical grid under two names (e.g. a variant shared by
+        # two figure panels): only one simulation per unique point.
+        specs = [exp_spec(name="panel-a"), exp_spec(name="panel-b")]
+        suite = run_suite(specs, cache_dir=tmp_path, use_cache=False)
+        assert suite.cache_misses == 1
+        assert suite.cache_hits == 1
+        a, b = suite.results
+        assert a.spec.name == "panel-a" and b.spec.name == "panel-b"
+        assert a.latency == b.latency
+
+    def test_failing_point_preserves_completed_siblings(self, tmp_path):
+        good = exp_spec(name="good")
+        # Degenerate window: the workload never sends inside it, so
+        # measurement raises — but only for this point.
+        bad = exp_spec(name="bad", duration=0.01, warmup=0.05)
+        with pytest.raises(SuiteError) as excinfo:
+            run_suite([good, bad], cache_dir=tmp_path, processes=2)
+        assert "bad" in str(excinfo.value)
+        # The good point was cached before the error surfaced: a re-run
+        # of it alone is a pure cache hit.
+        again = run_suite([good], cache_dir=tmp_path)
+        assert again.cache_hits == 1
+
+    def test_unwritable_cache_location_degrades_gracefully(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        suite = run_suite(
+            small_sweep(payloads=(1,)), cache_dir=blocker / "sub"
+        )
+        assert len(suite) == 4
+        assert all(r.sent > 0 for r in suite.results)
+        assert suite.cache_hits == 0
+
+
+class TestMetricsTraceMode:
+    def test_metrics_agrees_with_full_trace_and_keeps_no_events(self):
+        base = dict(stack=stack(), throughput=200.0, payload=64,
+                    duration=0.4, warmup=0.05, drain=0.5)
+        full = run_experiment(ExperimentSpec(name="full", **base))
+        metrics = run_experiment(ExperimentSpec(
+            name="metrics", trace_mode="metrics", safety_checks=False, **base
+        ))
+        assert metrics.mean_latency_ms == pytest.approx(
+            full.mean_latency_ms, abs=1e-12
+        )
+        assert sorted(metrics.latency.samples) == sorted(full.latency.samples)
+        assert metrics.latency.messages_measured == full.latency.messages_measured
+        assert (metrics.latency.messages_fully_delivered
+                == full.latency.messages_fully_delivered)
+        assert metrics.instances_decided == full.instances_decided
+        assert metrics.sent == full.sent
+
+    def test_metrics_mode_with_safety_checks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exp_spec(trace_mode="metrics", safety_checks=True)
+
+    def test_unknown_trace_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exp_spec(trace_mode="chatty")
+
+    def test_metrics_sweep_runs_through_suite(self, tmp_path):
+        sweep = small_sweep(trace_mode="metrics", payloads=(1,))
+        suite = run_suite(sweep, cache_dir=tmp_path)
+        assert all(r.mean_latency_ms > 0 for r in suite.results)
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], processes=2) == [9, 1, 4]
+
+    def test_serial_fallback_for_unpicklable_fn(self):
+        doubler = lambda x: x * 2  # noqa: E731 — deliberately unpicklable
+        assert parallel_map(doubler, [1, 2, 3], processes=2) == [2, 4, 6]
+
+    def test_one_unpicklable_item_does_not_serialise_the_rest(self):
+        # A mixed batch still pools the picklable items; the offender
+        # runs in-process.  Order is preserved throughout.
+        items = [2, lambda: 3, 4, 5]
+        out = parallel_map(_numify, items, processes=2)
+        assert out == [2, 3, 4, 5]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], processes=4) == []
+
+    def test_results_are_picklable_specs_and_results(self):
+        spec = exp_spec()
+        pickle.loads(pickle.dumps(spec))
+        result = run_experiment(spec)
+        restored = pickle.loads(pickle.dumps(result))
+        assert restored.latency == result.latency
+
+
+def _square(x):
+    return x * x
+
+
+def _numify(x):
+    return x() if callable(x) else x
