@@ -30,7 +30,14 @@ Run:  python examples/faulty_vs_indirect.py
 
 from dataclasses import dataclass
 
-from repro import CrashSchedule, StackSpec, build_system, check_abcast, make_payload
+from repro import (
+    CrashSchedule,
+    DelayRule,
+    StackSpec,
+    build_system,
+    check_abcast,
+    make_payload,
+)
 from repro.core.exceptions import ProtocolViolationError
 from repro.harness.runner import parallel_map
 
@@ -51,12 +58,13 @@ class StagedOutcome:
     violation: str | None
 
 
-def _slow_bulk_from_p2(frame):
-    # Separate channels: p2's bulk data crawls (deep buffers), all
-    # control traffic is fast.  Routine behaviour on a loaded LAN.
-    if not frame.control and frame.src == 2:
-        return 50e-3
-    return 0.5e-3
+#: Separate channels: p2's bulk data crawls (deep buffers), all control
+#: traffic is fast — routine behaviour on a loaded LAN.  Declarative
+#: rules (first match wins), so the whole spec pickles and caches.
+SLOW_BULK_FROM_P2 = (
+    DelayRule(src=2, control=False, delay=50e-3),
+    DelayRule(delay=0.5e-3),
+)
 
 
 def staged_run(stack_row: tuple[str, str, str]) -> StagedOutcome:
@@ -67,7 +75,7 @@ def staged_run(stack_row: tuple[str, str, str]) -> StagedOutcome:
         abcast=abcast,
         consensus=consensus,
         network="constant",
-        delay_fn=_slow_bulk_from_p2,
+        faults=SLOW_BULK_FROM_P2,
         drop_in_flight_on_crash=True,  # socket buffers die with p2
         fd="oracle",
         fd_detection_delay=10e-3,

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Partition and loss study: the fault axes of the sweep subsystem.
+
+One protocol stack (Algorithm 1 + indirect CT consensus), measured under
+four link conditions, all expressed as declarative fault rules on the
+sweep's ``fault_sets`` axis:
+
+* ``clean``     — the paper's fault-free LAN;
+* ``loss2``     — 2% probabilistic loss of reliable-broadcast data
+                  frames (``net.loss`` stream, deterministic per seed);
+* ``dup``       — 10% duplication of all frames (retransmission storm);
+* ``partition`` — a 150 ms window isolating p3 mid-measurement.
+
+Plus one topology point: the same group split across two contention
+segments joined by a 1 ms router.
+
+Because every rule is a frozen dataclass of primitives, all points run
+through the parallel ``run_suite`` runner and land in the on-disk
+result cache — re-running this script is (nearly) instant, and editing
+one rule recomputes only that column.
+
+Run:  python examples/partition_study.py
+"""
+
+from repro.harness.runner import run_suite
+from repro.harness.suite import SweepSpec
+from repro.net.faults import DuplicationRule, LossRule, PartitionWindow
+from repro.net.setups import SETUP_1
+from repro.net.topology import Topology
+from repro.stack.builder import StackSpec
+
+STACK = StackSpec(
+    n=3, abcast="indirect", consensus="ct-indirect", rb="sender",
+    params=SETUP_1,
+)
+
+SWEEP = SweepSpec(
+    name="faults",
+    variants=(("indirect", STACK),),
+    fault_sets=(
+        ("clean", ()),
+        ("loss2", (LossRule(probability=0.02, kind_prefix="rb1."),)),
+        ("dup", (DuplicationRule(probability=0.1),)),
+        ("partition", (
+            PartitionWindow(start=0.15, end=0.30, groups=((1, 2), (3,))),
+        )),
+    ),
+    topologies=(
+        ("lan", None),
+        ("2seg", Topology.split((1, 2), (3,), router_latency=1e-3)),
+    ),
+    throughputs=(200.0,),
+    payloads=(128,),
+    target_messages=60,
+    warmup=0.05,
+    drain=0.5,
+    safety_checks=False,  # lossy/partitioned traces are not quiescent
+)
+
+
+def main() -> None:
+    suite = run_suite(SWEEP)
+    print(f"# partition/loss study — {suite.summary()}\n")
+    print(f"{'scenario':<28} {'latency ms':>10} {'p90 ms':>8} "
+          f"{'sent':>5} {'undelivered':>11}")
+    for spec, result in suite.pairs():
+        scenario = spec.name.split("/", 1)[1].split(" n=", 1)[0]
+        print(
+            f"{scenario:<28} {result.mean_latency_ms:>10.3f} "
+            f"{result.latency.stats.p90 * 1e3:>8.3f} "
+            f"{result.sent:>5} {result.undelivered:>11}"
+        )
+    print(
+        "\nReading: loss both stretches the tail and strands whoever\n"
+        "missed a data frame (there is no transport retransmission —\n"
+        "undelivered > 0), duplication adds pure contention, the\n"
+        "partition strands p3's deliveries for its duration, and the\n"
+        "two-segment topology pays the router on every crossing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -39,21 +39,35 @@ from repro.core import (
     make_payload,
 )
 from repro.failure.crash import CrashSchedule
+from repro.failure.partition import PartitionSchedule
 from repro.metrics import measure_latency
+from repro.net.faults import (
+    DelayRule,
+    DuplicationRule,
+    LossRule,
+    PartitionWindow,
+)
 from repro.net.setups import SETUP_1, SETUP_2
+from repro.net.topology import Topology
 from repro.stack import StackSpec, System, build_system
 from repro.workload import SymmetricWorkload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AppMessage",
     "CrashSchedule",
+    "DelayRule",
+    "DuplicationRule",
+    "LossRule",
     "MessageId",
+    "PartitionSchedule",
+    "PartitionWindow",
     "ProcessId",
     "SETUP_1",
     "SETUP_2",
     "StackSpec",
+    "Topology",
     "SymmetricWorkload",
     "System",
     "SystemConfig",

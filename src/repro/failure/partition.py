@@ -1,0 +1,78 @@
+"""Declarative partition injection.
+
+A :class:`PartitionSchedule` lists timed
+:class:`~repro.net.faults.PartitionWindow`\\ s and is armed on a system
+alongside the :class:`~repro.failure.crash.CrashSchedule` — the same
+"declare faults, then build" shape for link faults that crashes have
+always had.  Arming installs every window into the network's fault
+pipeline, where the send path enforces it.
+
+Windows can equivalently be placed directly in ``StackSpec.faults``;
+the schedule exists for call sites that keep fault *timing* separate
+from the protocol stack under test (e.g. one stack measured under
+several partition scenarios), and for validation against the system
+configuration before anything runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SystemConfig
+from repro.core.exceptions import ConfigurationError
+from repro.core.identifiers import ProcessId
+from repro.net.faults import PartitionWindow
+from repro.net.models import Network
+
+
+@dataclass(frozen=True)
+class PartitionSchedule:
+    """Partition windows to inject over a run."""
+
+    windows: tuple[PartitionWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "windows", tuple(self.windows))
+        for window in self.windows:
+            if not isinstance(window, PartitionWindow):
+                raise ConfigurationError(
+                    f"PartitionSchedule takes PartitionWindow, got {window!r}"
+                )
+
+    @classmethod
+    def none(cls) -> "PartitionSchedule":
+        """The partition-free schedule."""
+        return cls(())
+
+    @classmethod
+    def single(
+        cls,
+        start: float,
+        end: float,
+        groups: tuple[tuple[ProcessId, ...], ...],
+    ) -> "PartitionSchedule":
+        """One window: ``groups`` are isolated during ``[start, end)``."""
+        return cls((PartitionWindow(start=start, end=end, groups=groups),))
+
+    @property
+    def partitioned(self) -> frozenset[ProcessId]:
+        """Every process named by some window."""
+        return frozenset(
+            pid
+            for window in self.windows
+            for group in window.groups
+            for pid in group
+        )
+
+    def validate_against(self, config: SystemConfig) -> None:
+        """Fail fast if a window names a process outside the system."""
+        for pid in self.partitioned:
+            if pid not in config.processes:
+                raise ConfigurationError(
+                    f"partition schedule names unknown p{pid}"
+                )
+
+    def apply(self, network: Network) -> None:
+        """Arm every window on ``network``'s fault pipeline."""
+        for window in self.windows:
+            network.pipeline.add_partition(window)

@@ -178,18 +178,45 @@ def _run_panels(
     for panel_name, sweep, x_axis, where in slices:
         panel_specs = suite.specs[where]
         panel_results = suite.results[where]
-        series = {label: Series(label=label) for label, _ in sweep.variants}
+        # Mirror SweepSpec.experiments() expansion order exactly: each
+        # (variant, fault set, topology) combo is one curve; seeds ×
+        # throughputs × payloads are its points.
+        series: dict[str, Series] = {}
         cursor = 0
         for label, _stack_spec in sweep.variants:
-            for _seed in sweep.seeds:
-                for throughput in sweep.throughputs:
-                    for payload in sweep.payloads:
-                        result = panel_results[cursor]
-                        assert panel_specs[cursor].throughput == throughput
-                        assert panel_specs[cursor].payload == payload
-                        x = payload if x_axis == "payload" else throughput
-                        series[label].add(x, result)
-                        cursor += 1
+            for fault_label, _rules in sweep.fault_sets:
+                for topo_label, _topology in sweep.topologies:
+                    curve_label = sweep.point_label(
+                        label, fault_label, topo_label
+                    )
+                    curve = series.setdefault(
+                        curve_label, Series(label=curve_label)
+                    )
+                    for _seed in sweep.seeds:
+                        for throughput in sweep.throughputs:
+                            for payload in sweep.payloads:
+                                spec = panel_specs[cursor]
+                                if (
+                                    spec.throughput != throughput
+                                    or spec.payload != payload
+                                ):
+                                    raise RuntimeError(
+                                        f"panel {panel_name!r}: result "
+                                        f"order diverged from the sweep "
+                                        f"grid at {spec.name!r}"
+                                    )
+                                x = (
+                                    payload
+                                    if x_axis == "payload"
+                                    else throughput
+                                )
+                                curve.add(x, panel_results[cursor])
+                                cursor += 1
+        if cursor != len(panel_results):
+            raise RuntimeError(
+                f"panel {panel_name!r}: {len(panel_results) - cursor} "
+                "suite points were not assigned to any curve"
+            )
         fig.panels[panel_name] = list(series.values())
     return fig
 

@@ -8,10 +8,10 @@ flat list of :class:`~repro.harness.experiment.ExperimentSpec`) and:
    so re-running a figure only computes missing points — and two
    figures that share a configuration share the cached result;
 2. fans the missing points out over a ``multiprocessing`` pool (specs
-   and results are frozen dataclasses of primitives, hence
-   pickle-clean), falling back to in-process execution for anything
-   that cannot cross a process boundary (e.g. a spec with a lambda
-   ``delay_fn``);
+   and results are frozen dataclasses of primitives — including the
+   declarative fault rules and topologies, which is why crafted fault
+   scenarios parallelise), falling back to in-process execution for
+   anything that cannot cross a process boundary;
 3. stores the computed results atomically and returns everything in
    input order.
 
@@ -114,9 +114,11 @@ def spec_key(spec: ExperimentSpec) -> str | None:
     The hash covers every field that influences the simulation —
     ``name`` is excluded, it is presentation only — plus
     :data:`CACHE_VERSION` and the :func:`_code_fingerprint` of the
-    installed ``repro`` sources.  A spec carrying a non-serialisable
-    field (a ``delay_fn`` callable) has no stable content hash and is
-    reported uncacheable.
+    installed ``repro`` sources.  Declarative fault rules and
+    topologies are dataclasses of primitives, so fault scenarios hash
+    (and cache) like any other spec; changing a single rule changes
+    the key.  A spec carrying a non-serialisable field has no stable
+    content hash and is reported uncacheable.
     """
     data = dataclasses.asdict(spec)
     data.pop("name")
@@ -141,18 +143,25 @@ class ResultCache:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
-    def path_for(self, spec: ExperimentSpec) -> Path | None:
-        key = spec_key(spec)
+    def path_for(
+        self, spec: ExperimentSpec, key: str | None = None
+    ) -> Path | None:
+        """Cache path for ``spec`` (pass a precomputed ``key`` to avoid
+        re-hashing the spec)."""
+        if key is None:
+            key = spec_key(spec)
         return None if key is None else self.root / f"{key}.pkl"
 
-    def load(self, spec: ExperimentSpec) -> ExperimentResult | None:
+    def load(
+        self, spec: ExperimentSpec, key: str | None = None
+    ) -> ExperimentResult | None:
         """Return the cached result for ``spec``, or ``None`` on a miss.
 
         The stored spec's display name may differ from ``spec.name``
         (the hash ignores names); the returned result carries the
         caller's spec so reports label points correctly.
         """
-        path = self.path_for(spec)
+        path = self.path_for(spec, key)
         if path is None or not path.exists():
             return None
         try:
@@ -165,9 +174,14 @@ class ResultCache:
             # schema that fails re-validation): recompute and overwrite.
             return None
 
-    def store(self, spec: ExperimentSpec, result: ExperimentResult) -> bool:
+    def store(
+        self,
+        spec: ExperimentSpec,
+        result: ExperimentResult,
+        key: str | None = None,
+    ) -> bool:
         """Persist ``result`` under ``spec``'s key (atomic). False if uncacheable."""
-        path = self.path_for(spec)
+        path = self.path_for(spec, key)
         if path is None:
             return False
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
@@ -260,7 +274,8 @@ class SuiteResult:
     with an identical content hash; ``cache_misses`` counts unique
     points actually computed (and stored when possible);
     ``uncacheable`` counts computed points with no content hash
-    (e.g. a ``delay_fn``).  The three always sum to ``len(self)``.
+    (a spec carrying a non-serialisable field).  The three always sum
+    to ``len(self)``.
     """
 
     specs: list[ExperimentSpec]
@@ -350,12 +365,15 @@ def run_suite(
     pending: dict[object, list[tuple[int, ExperimentSpec]]] = {}
     hits = 0
     for index, spec in enumerate(specs):
-        cached = cache.load(spec) if (use_cache and cache) else None
-        if cached is not None:
-            results[index] = cached
-            hits += 1
-            continue
+        # Hash once per point; the same key serves lookup, in-call
+        # dedup grouping, and the store after computation.
         key: object = spec_key(spec)
+        if use_cache and cache and key is not None:
+            cached = cache.load(spec, key=key)
+            if cached is not None:
+                results[index] = cached
+                hits += 1
+                continue
         if key is None:
             key = ("uncacheable", index)  # no content hash: never dedupe
         pending.setdefault(key, []).append((index, spec))
@@ -386,7 +404,7 @@ def run_suite(
             misses += 1
             if cache is not None:
                 try:
-                    if cache.store(first_spec, outcome):
+                    if cache.store(first_spec, outcome, key=key):
                         stored_count += 1
                 except OSError:
                     cache = None  # went unwritable mid-run: keep results

@@ -37,6 +37,8 @@ from typing import Iterable
 
 from repro.core.exceptions import ConfigurationError
 from repro.harness.experiment import ExperimentSpec
+from repro.net.faults import validate_fault_rules
+from repro.net.topology import Topology
 from repro.stack.builder import StackSpec
 
 
@@ -44,15 +46,28 @@ from repro.stack.builder import StackSpec
 class SweepSpec:
     """A declarative grid of performance experiments.
 
-    The expansion order is fixed and documented — variant, then seed,
-    then throughput, then payload — so result lists returned by
-    :func:`~repro.harness.runner.run_suite` line up with
-    :meth:`experiments` deterministically.
+    The expansion order is fixed and documented — variant, then fault
+    set, then topology, then seed, then throughput, then payload — so
+    result lists returned by :func:`~repro.harness.runner.run_suite`
+    line up with :meth:`experiments` deterministically.
 
     Attributes:
         name: Sweep label; prefixes every generated experiment name.
         variants: ``(label, stack)`` pairs.  Each stack is a template;
             its ``seed`` field is overridden by the sweep's seed axis.
+        fault_sets: ``(label, rules)`` pairs — each entry appends its
+            fault rules (see :mod:`repro.net.faults`) to the variant
+            stack's own ``faults``, making loss rates, duplication
+            storms and partition windows sweepable grid dimensions.
+            The rules are part of the stack spec, so they participate
+            in the result-cache key.  The default single entry
+            ``("", ())`` injects nothing and leaves experiment names
+            untouched; non-empty labels are appended as ``+label``.
+        topologies: ``(label, topology)`` pairs — each non-``None``
+            entry overrides the variant stack's
+            :class:`~repro.net.topology.Topology`.  Default: one
+            ``("", None)`` entry (keep the stack's own placement);
+            non-empty labels are appended as ``@label``.
         throughputs: Global abroadcast rates to sweep (messages/second).
         payloads: Payload sizes to sweep (bytes).
         seeds: Seeds for repetitions (one run per seed per grid point).
@@ -76,6 +91,8 @@ class SweepSpec:
     throughputs: tuple[float, ...]
     payloads: tuple[int, ...]
     seeds: tuple[int, ...] = (0,)
+    fault_sets: tuple[tuple[str, tuple], ...] = (("", ()),)
+    topologies: tuple[tuple[str, Topology | None], ...] = (("", None),)
     target_messages: int = 120
     warmup: float = 0.1
     drain: float = 0.5
@@ -90,16 +107,32 @@ class SweepSpec:
         object.__setattr__(self, "variants", tuple(
             (str(label), stack) for label, stack in self.variants
         ))
+        object.__setattr__(self, "fault_sets", tuple(
+            (str(label), validate_fault_rules(tuple(rules)))
+            for label, rules in self.fault_sets
+        ))
+        object.__setattr__(self, "topologies", tuple(
+            (str(label), topology) for label, topology in self.topologies
+        ))
         for axis in ("throughputs", "payloads", "seeds"):
             object.__setattr__(self, axis, tuple(getattr(self, axis)))
         if not self.variants:
             raise ConfigurationError("SweepSpec needs at least one variant")
-        for axis in ("throughputs", "payloads", "seeds"):
+        for axis in ("throughputs", "payloads", "seeds", "fault_sets",
+                     "topologies"):
             if not getattr(self, axis):
                 raise ConfigurationError(f"SweepSpec.{axis} must be non-empty")
-        labels = [label for label, _ in self.variants]
-        if len(set(labels)) != len(labels):
-            raise ConfigurationError(f"duplicate variant labels in {labels}")
+        for axis in ("variants", "fault_sets", "topologies"):
+            labels = [label for label, _ in getattr(self, axis)]
+            if len(set(labels)) != len(labels):
+                raise ConfigurationError(
+                    f"duplicate {axis} labels in {labels}"
+                )
+        for _, topology in self.topologies:
+            if topology is not None and not isinstance(topology, Topology):
+                raise ConfigurationError(
+                    f"topologies axis takes Topology or None, got {topology!r}"
+                )
         if any(t <= 0 for t in self.throughputs):
             raise ConfigurationError("throughputs must be > 0")
         if self.target_messages <= 0:
@@ -113,10 +146,26 @@ class SweepSpec:
                 "safety_checks=True requires trace_mode='full'"
             )
 
+    @staticmethod
+    def point_label(variant: str, fault: str = "", topology: str = "") -> str:
+        """Display label of one (variant, fault set, topology) combo.
+
+        Shared by :meth:`experiments` and the figure assembly so curve
+        labels and experiment names always agree.
+        """
+        label = variant
+        if fault:
+            label += f"+{fault}"
+        if topology:
+            label += f"@{topology}"
+        return label
+
     def __len__(self) -> int:
         """Number of grid points the sweep expands to."""
         return (
             len(self.variants)
+            * len(self.fault_sets)
+            * len(self.topologies)
             * len(self.seeds)
             * len(self.throughputs)
             * len(self.payloads)
@@ -131,27 +180,43 @@ class SweepSpec:
         )
         specs = []
         for label, stack in self.variants:
-            for seed in self.seeds:
-                seeded = replace(stack, seed=seed)
-                for throughput in self.throughputs:
-                    duration = self.warmup + self.target_messages / throughput
-                    for payload in self.payloads:
-                        specs.append(ExperimentSpec(
-                            name=(
-                                f"{self.name}/{label} n={seeded.n} "
-                                f"{throughput:g}msg/s {payload}B seed={seed}"
-                            ),
-                            stack=seeded,
-                            throughput=throughput,
-                            payload=payload,
-                            duration=duration,
-                            warmup=self.warmup,
-                            drain=self.drain,
-                            arrivals=self.arrivals,
-                            safety_checks=checks,
-                            trace_mode=self.trace_mode,
-                            max_events=self.max_events,
-                        ))
+            for fault_label, fault_rules in self.fault_sets:
+                for topo_label, topology in self.topologies:
+                    shaped = stack
+                    if fault_rules:
+                        shaped = replace(
+                            shaped, faults=shaped.faults + fault_rules
+                        )
+                    if topology is not None:
+                        shaped = replace(shaped, topology=topology)
+                    point_label = self.point_label(
+                        label, fault_label, topo_label
+                    )
+                    for seed in self.seeds:
+                        seeded = replace(shaped, seed=seed)
+                        for throughput in self.throughputs:
+                            duration = (
+                                self.warmup + self.target_messages / throughput
+                            )
+                            for payload in self.payloads:
+                                specs.append(ExperimentSpec(
+                                    name=(
+                                        f"{self.name}/{point_label} "
+                                        f"n={seeded.n} "
+                                        f"{throughput:g}msg/s {payload}B "
+                                        f"seed={seed}"
+                                    ),
+                                    stack=seeded,
+                                    throughput=throughput,
+                                    payload=payload,
+                                    duration=duration,
+                                    warmup=self.warmup,
+                                    drain=self.drain,
+                                    arrivals=self.arrivals,
+                                    safety_checks=checks,
+                                    trace_mode=self.trace_mode,
+                                    max_events=self.max_events,
+                                ))
         return tuple(specs)
 
 

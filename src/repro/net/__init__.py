@@ -15,9 +15,20 @@ This package provides the simulated equivalents:
   paper's latency/throughput curves.  The
   :class:`~repro.net.models.ConstantLatencyNetwork` is a lightweight
   model for unit tests and crafted scenarios.
+* :mod:`repro.net.faults` — declarative link faults (loss, duplication,
+  delay, partitions) applied by the per-link fault pipeline.
+* :mod:`repro.net.topology` — multi-segment topologies with router
+  latency (the default stays the paper's single shared segment).
 * :mod:`repro.net.setups` — calibrated ``SETUP_1`` / ``SETUP_2`` presets.
 """
 
+from repro.net.faults import (
+    DelayRule,
+    DuplicationRule,
+    FaultPipeline,
+    LossRule,
+    PartitionWindow,
+)
 from repro.net.frame import Frame
 from repro.net.models import (
     ConstantLatencyNetwork,
@@ -26,15 +37,22 @@ from repro.net.models import (
     NetworkParams,
 )
 from repro.net.setups import SETUP_1, SETUP_2
+from repro.net.topology import Topology
 from repro.net.transport import Transport
 
 __all__ = [
     "ConstantLatencyNetwork",
     "ContentionNetwork",
+    "DelayRule",
+    "DuplicationRule",
+    "FaultPipeline",
     "Frame",
+    "LossRule",
     "Network",
     "NetworkParams",
+    "PartitionWindow",
     "SETUP_1",
     "SETUP_2",
+    "Topology",
     "Transport",
 ]

@@ -1,21 +1,30 @@
-"""Network latency models.
+"""Network latency models over a pluggable link subsystem.
 
 Two models are provided:
 
 * :class:`ConstantLatencyNetwork` — every frame takes ``base + per_byte *
-  wire_size`` seconds (plus optional uniform jitter, plus an optional
-  per-frame ``delay_fn`` hook used by crafted fault scenarios).  No
-  queueing.  Cheap, ideal for unit tests and algorithm-level scenarios.
+  wire_size`` seconds (plus optional uniform jitter).  No queueing.
+  Cheap, ideal for unit tests and algorithm-level scenarios.
 
 * :class:`ContentionNetwork` — the performance model under which the
   paper's curves were produced (after the Neko performance model of
   Urbán's thesis).  Each frame is charged, in order, on three FIFO
   resources: the **sender's CPU** (serialization / syscall cost), the
-  **shared transmission medium** (wire time on the Ethernet segment),
-  and the **receiver's CPU** (deserialization / interrupt cost).
-  Queueing at these resources is what bends the latency/throughput
-  curves upward as the system saturates — exactly the effect Figures 3-7
-  of the paper measure.
+  **transmission medium** of its segment (wire time), and the
+  **receiver's CPU** (deserialization / interrupt cost).  Queueing at
+  these resources is what bends the latency/throughput curves upward as
+  the system saturates — exactly the effect Figures 3-7 of the paper
+  measure.
+
+Every frame a model transmits first passes the network's
+:class:`~repro.net.faults.FaultPipeline`: declarative
+loss/duplication/delay rules and partition windows decide whether the
+frame reaches the wire at all, how many copies do, and how long the
+link holds them.  A :class:`~repro.net.topology.Topology` maps
+processes onto contention segments — the contention model runs one
+medium per segment, with a router latency per crossing.  With no fault
+rules and a single segment both models are bit-identical to the
+pre-pipeline implementation (no extra RNG draws, no extra events).
 
 Both models honour crash-stop semantics: frames destined to a crashed
 process are dropped, and (optionally) frames still queued at a sender
@@ -32,12 +41,15 @@ from typing import Callable, TYPE_CHECKING
 
 from repro.core.exceptions import ConfigurationError
 from repro.core.identifiers import ProcessId
+from repro.net.faults import DelayRule, FaultPipeline
 from repro.net.frame import Frame
+from repro.net.topology import Topology
 from repro.sim.engine import Engine, EventHandle
 from repro.sim.resources import FifoResource
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sim.process import SimProcess
+    from repro.sim.rng import RngRegistry
 
 
 @dataclass(frozen=True, slots=True)
@@ -80,7 +92,7 @@ class NetworkParams:
 
 
 class Network:
-    """Base class: frame accounting, crash handling, delivery dispatch.
+    """Base class: frame accounting, fault pipeline, crash handling.
 
     Subclasses implement :meth:`_transmit`, which must eventually call
     :meth:`_deliver` (typically through engine callbacks).
@@ -90,12 +102,17 @@ class Network:
         self,
         engine: Engine,
         drop_in_flight_of_crashed_sender: bool = False,
+        faults: tuple = (),
+        rngs: "RngRegistry | None" = None,
+        topology: Topology | None = None,
     ) -> None:
         self.engine = engine
         self._processes: dict[ProcessId, "SimProcess"] = {}
         self._handlers: dict[ProcessId, Callable[[Frame], None]] = {}
         self.drop_in_flight_of_crashed_sender = drop_in_flight_of_crashed_sender
         self._in_flight: dict[ProcessId, list[EventHandle]] = {}
+        self.pipeline = FaultPipeline(engine, faults, rngs)
+        self.topology = topology if topology is not None else Topology.single()
         #: Counters by frame kind (tests assert message complexity with these).
         self.frames_sent: dict[str, int] = {}
         self.bytes_sent: dict[str, int] = {}
@@ -109,6 +126,7 @@ class Network:
         self, process: "SimProcess", handler: Callable[[Frame], None]
     ) -> None:
         """Register ``process`` and its inbound frame ``handler``."""
+        self.topology.segment_of(process.pid)  # placement must exist
         self._processes[process.pid] = process
         self._handlers[process.pid] = handler
         self._in_flight[process.pid] = []
@@ -118,12 +136,21 @@ class Network:
     def process(self, pid: ProcessId) -> "SimProcess":
         return self._processes[pid]
 
+    def pids(self) -> tuple[ProcessId, ...]:
+        """Every attached process id, in ascending order."""
+        return tuple(sorted(self._processes))
+
     # ------------------------------------------------------------------
     # Send path
     # ------------------------------------------------------------------
 
     def send(self, frame: Frame) -> None:
-        """Inject ``frame``; a crashed sender sends nothing."""
+        """Inject ``frame``; a crashed sender sends nothing.
+
+        The frame first passes the fault pipeline, which may drop it
+        (loss rules, partition windows) or fan it out into duplicate
+        copies; every surviving copy is transmitted by the model.
+        """
         sender = self._processes.get(frame.src)
         if sender is None:
             raise ConfigurationError(f"unknown sender p{frame.src}")
@@ -136,7 +163,12 @@ class Network:
         self.bytes_sent[frame.kind] = (
             self.bytes_sent.get(frame.kind, 0) + frame.wire_size()
         )
-        self._transmit(frame)
+        copies = self.pipeline.admit(frame)
+        if not copies:
+            self.frames_dropped += 1
+            return
+        for copy in copies:
+            self._transmit(copy)
 
     def _transmit(self, frame: Frame) -> None:
         raise NotImplementedError
@@ -152,7 +184,7 @@ class Network:
 
     def _drop_in_flight(self, src: ProcessId) -> None:
         for handle in self._in_flight[src]:
-            if not handle.cancelled:
+            if not handle.cancelled and not handle.finished:
                 handle.cancel()
                 self.frames_dropped += 1
         self._in_flight[src].clear()
@@ -181,11 +213,12 @@ class Network:
 class ConstantLatencyNetwork(Network):
     """Frames arrive after ``base + per_byte * wire_size`` (+ jitter).
 
-    The optional ``delay_fn`` hook receives each frame and may return a
-    replacement one-way delay in seconds; crafted fault-injection
-    scenarios use it to reorder control traffic ahead of bulk data, which
-    is how the Section 2.2 validity violation and the Section 3.3.2 MR
-    indistinguishability scenario are staged deterministically.
+    :class:`~repro.net.faults.DelayRule`\\ s override the computed delay
+    per matching frame (first match wins), which is how crafted fault
+    scenarios reorder control traffic ahead of bulk data — the staging
+    behind the Section 2.2 validity violation and the Section 3.3.2 MR
+    indistinguishability argument.  Frames crossing topology segments
+    additionally pay the router latency.
     """
 
     def __init__(
@@ -195,10 +228,18 @@ class ConstantLatencyNetwork(Network):
         per_byte: float = 0.0,
         jitter: float = 0.0,
         rng: random.Random | None = None,
-        delay_fn: Callable[[Frame], float | None] | None = None,
         drop_in_flight_of_crashed_sender: bool = False,
+        faults: tuple = (),
+        rngs: "RngRegistry | None" = None,
+        topology: Topology | None = None,
     ) -> None:
-        super().__init__(engine, drop_in_flight_of_crashed_sender)
+        super().__init__(
+            engine,
+            drop_in_flight_of_crashed_sender,
+            faults=faults,
+            rngs=rngs,
+            topology=topology,
+        )
         if base < 0 or per_byte < 0 or jitter < 0:
             raise ConfigurationError("network delays must be >= 0")
         if jitter > 0 and rng is None:
@@ -207,37 +248,46 @@ class ConstantLatencyNetwork(Network):
         self.per_byte = per_byte
         self.jitter = jitter
         self.rng = rng
-        self.delay_fn = delay_fn
 
     def _transmit(self, frame: Frame) -> None:
-        delay: float | None = None
-        if self.delay_fn is not None:
-            delay = self.delay_fn(frame)
-        if delay is None:
+        rule = self.pipeline.delay_rule_for(frame)
+        if rule is not None and rule.delay is not None:
+            delay = rule.delay
+        else:
             delay = self.base + self.per_byte * frame.wire_size()
             if self.jitter > 0:
                 assert self.rng is not None
                 delay += self.rng.uniform(0.0, self.jitter)
+        if rule is not None:
+            delay += rule.extra
+        if self.topology.crosses(frame.src, frame.dst):
+            delay += self.topology.router_latency
         handle = self.engine.schedule(delay, self._deliver, frame)
         self._track(frame.src, handle)
 
 
 class ContentionNetwork(Network):
-    """CPU + shared-medium contention model (the Neko performance model).
+    """CPU + per-segment-medium contention model (the Neko performance
+    model, generalised to multiple segments).
 
     Per frame, in order:
 
     1. occupy the **sender CPU** for ``send_overhead + cpu_per_byte*size``;
-    2. occupy the **shared medium** for ``wire_overhead + wire_per_byte *
-       wire_size`` (single Ethernet segment — one frame at a time);
-    3. occupy the **receiver CPU** for ``recv_overhead + cpu_per_byte*size``;
-    4. deliver to the protocol handler.
+    2. occupy the **source segment's medium** for ``wire_overhead +
+       wire_per_byte * wire_size`` (one frame at a time per segment);
+    3. if the destination sits on another segment: wait the topology's
+       ``router_latency``, then occupy the **destination segment's
+       medium** for the same wire time (store-and-forward);
+    4. occupy the **receiver CPU** for ``recv_overhead + cpu_per_byte*size``;
+    5. deliver to the protocol handler.
 
     Self-addressed frames skip the medium and the second CPU charge: a
     local loopback costs one ``send_overhead`` only.
 
-    All three stages are FIFO queues, so a burst of large frames delays
-    every frame behind it — the saturation mechanism of Figures 3-7.
+    All stages are FIFO queues, so a burst of large frames delays every
+    frame behind it — the saturation mechanism of Figures 3-7.  With
+    the default single-segment topology there is exactly one medium and
+    no router stage, matching the paper's shared Ethernet segment.
     """
 
     def __init__(
@@ -245,10 +295,40 @@ class ContentionNetwork(Network):
         engine: Engine,
         params: NetworkParams,
         drop_in_flight_of_crashed_sender: bool = False,
+        faults: tuple = (),
+        rngs: "RngRegistry | None" = None,
+        topology: Topology | None = None,
     ) -> None:
-        super().__init__(engine, drop_in_flight_of_crashed_sender)
+        super().__init__(
+            engine,
+            drop_in_flight_of_crashed_sender,
+            faults=faults,
+            rngs=rngs,
+            topology=topology,
+        )
+        for rule in self.pipeline.rules:
+            if isinstance(rule, DelayRule) and rule.delay is not None:
+                raise ConfigurationError(
+                    "DelayRule.delay overrides apply to the constant "
+                    "model only — the contention model has no single "
+                    "one-way delay to replace; use DelayRule(extra=...) "
+                    "for added link latency"
+                )
         self.params = params
-        self.medium = FifoResource(engine, name="net.medium")
+        if self.topology.segment_count == 1:
+            self.media: tuple[FifoResource, ...] = (
+                FifoResource(engine, name="net.medium"),
+            )
+        else:
+            self.media = tuple(
+                FifoResource(engine, name=f"net.medium.{i}")
+                for i in range(self.topology.segment_count)
+            )
+
+    @property
+    def medium(self) -> FifoResource:
+        """The (first) segment medium; *the* medium when single-segment."""
+        return self.media[0]
 
     def cpu_cost(self, frame: Frame, overhead: float) -> float:
         return overhead + self.params.cpu_per_byte * frame.size
@@ -273,9 +353,46 @@ class ContentionNetwork(Network):
         if self._processes[frame.src].crashed and self.drop_in_flight_of_crashed_sender:
             self.frames_dropped += 1
             return
-        self.medium.occupy(self.wire_cost(frame), self._enter_receiver, frame)
+        src_segment = self.topology.segment_of(frame.src)
+        if self.topology.crosses(frame.src, frame.dst):
+            self.media[src_segment].occupy(
+                self.wire_cost(frame), self._exit_source_segment, frame
+            )
+        else:
+            self.media[src_segment].occupy(
+                self.wire_cost(frame), self._exit_final_wire, frame
+            )
+
+    def _exit_source_segment(self, frame: Frame) -> None:
+        hop = self.topology.router_latency
+        if hop > 0:
+            self.engine.schedule(hop, self._enter_destination_segment, frame)
+        else:
+            self._enter_destination_segment(frame)
+
+    def _enter_destination_segment(self, frame: Frame) -> None:
+        dst_segment = self.topology.segment_of(frame.dst)
+        self.media[dst_segment].occupy(
+            self.wire_cost(frame), self._exit_final_wire, frame
+        )
+
+    def _exit_final_wire(self, frame: Frame) -> None:
+        extra = self.pipeline.extra_delay(frame)
+        if extra > 0:
+            self.engine.schedule(extra, self._enter_receiver, frame)
+        else:
+            self._enter_receiver(frame)
 
     def _enter_receiver(self, frame: Frame) -> None:
+        if (
+            self.drop_in_flight_of_crashed_sender
+            and self._processes[frame.src].crashed
+        ):
+            # The sender died while this frame sat queued on the medium:
+            # under the lost-socket-buffers policy it never reaches the
+            # receiver (mirrors the constant model's in-flight drop).
+            self.frames_dropped += 1
+            return
         dst = self._processes[frame.dst]
         if dst.crashed:
             self.frames_dropped += 1

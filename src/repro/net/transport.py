@@ -42,7 +42,7 @@ class Transport:
     @property
     def peers(self) -> tuple[ProcessId, ...]:
         """Every process attached to the network, including this one."""
-        return tuple(sorted(self.network._processes))
+        return self.network.pids()
 
     def register(self, kind: str, handler: FrameHandler) -> None:
         """Route inbound frames of ``kind`` to ``handler``."""

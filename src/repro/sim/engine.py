@@ -24,9 +24,9 @@ from repro.core.exceptions import ConfigurationError
 
 
 class _EventRecord:
-    """Mutable payload of a heap entry: the callback and its cancel flag."""
+    """Mutable payload of a heap entry: callback, cancel and done flags."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "finished")
 
     def __init__(
         self, time: float, fn: Callable[..., None], args: tuple[Any, ...]
@@ -35,23 +35,37 @@ class _EventRecord:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.finished = False
 
 
 class EventHandle:
     """Opaque handle returned by :meth:`Engine.schedule`; supports cancel."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_engine")
 
-    def __init__(self, event: _EventRecord) -> None:
+    def __init__(self, event: _EventRecord, engine: "Engine") -> None:
         self._event = event
+        self._engine = engine
 
     def cancel(self) -> None:
-        """Prevent the callback from firing (idempotent)."""
+        """Prevent the callback from firing (idempotent).
+
+        A no-op once the callback has already executed — there is
+        nothing left to prevent.
+        """
+        if self._event.cancelled or self._event.finished:
+            return
         self._event.cancelled = True
+        self._engine._pending -= 1
 
     @property
     def cancelled(self) -> bool:
         return self._event.cancelled
+
+    @property
+    def finished(self) -> bool:
+        """True once the callback has executed."""
+        return self._event.finished
 
     @property
     def time(self) -> float:
@@ -78,6 +92,7 @@ class Engine:
         self._seq = 0
         self._heap: list[tuple[float, int, _EventRecord]] = []
         self._running = False
+        self._pending = 0
         #: Number of callbacks executed so far (diagnostics / runaway guard).
         self.events_executed = 0
 
@@ -105,11 +120,16 @@ class Engine:
         self._seq += 1
         record = _EventRecord(time, fn, args)
         heapq.heappush(self._heap, (time, self._seq, record))
-        return EventHandle(record)
+        self._pending += 1
+        return EventHandle(record, self)
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still in the queue."""
-        return sum(1 for _, _, record in self._heap if not record.cancelled)
+        """Number of not-yet-cancelled events still in the queue.
+
+        O(1): a live counter maintained by ``schedule``/``cancel`` and
+        the run loop, instead of a scan over the whole heap.
+        """
+        return self._pending
 
     def run(
         self,
@@ -145,6 +165,8 @@ class Engine:
                     break
                 heapq.heappop(self._heap)
                 self._now = time
+                record.finished = True
+                self._pending -= 1
                 record.fn(*record.args)
                 self.events_executed += 1
                 executed += 1

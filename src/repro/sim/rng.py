@@ -1,9 +1,10 @@
 """Named, independently seeded random streams.
 
 Every source of randomness in a simulation (workload arrivals, network
-jitter, payload contents, ...) draws from its own ``random.Random``
-stream, derived deterministically from the experiment seed and the
-stream's name.  This is the standard trick for reproducible simulations:
+jitter, probabilistic frame loss on ``net.loss``, duplication on
+``net.dup``, payload contents, ...) draws from its own
+``random.Random`` stream, derived deterministically from the
+experiment seed and the stream's name.  This is the standard trick for reproducible simulations:
 adding a new consumer of randomness, or changing how often one consumer
 draws, cannot perturb any other stream, so regression baselines stay
 valid across refactorings.

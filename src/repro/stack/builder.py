@@ -10,7 +10,6 @@ all drive.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.abcast.base import AtomicBroadcast
 from repro.abcast.faulty_ids import FaultyIdsAtomicBroadcast
@@ -31,9 +30,11 @@ from repro.core.identifiers import ProcessId
 from repro.failure.crash import CrashSchedule
 from repro.failure.detector import FalseSuspicion, wire_oracle_detectors
 from repro.failure.heartbeat import wire_heartbeat_detectors
-from repro.net.frame import Frame
+from repro.failure.partition import PartitionSchedule
+from repro.net.faults import validate_fault_rules
 from repro.net.models import ConstantLatencyNetwork, ContentionNetwork, NetworkParams
 from repro.net.setups import SETUP_1
+from repro.net.topology import Topology
 from repro.net.transport import Transport
 from repro.sim.engine import Engine
 from repro.sim.process import SimProcess
@@ -92,6 +93,41 @@ class StackSpec:
         enforce_resilience: Fail fast when a schedule exceeds ``f``;
             scenario tests that *demonstrate* over-``f`` violations
             disable this.
+        faults: Declarative link-fault rules (see
+            :mod:`repro.net.faults`), applied in order by the network's
+            fault pipeline:
+
+            * ``LossRule`` — drop matching frames, probabilistically
+              (``net.loss`` RNG stream) or the deterministic nth match;
+            * ``DuplicationRule`` — deliver extra copies (``net.dup``);
+            * ``DelayRule`` — override/stretch matching frames' one-way
+              latency, first match wins (the declarative replacement
+              for the former ``delay_fn`` callable; ``delay`` overrides
+              are constant-model only, the contention model rejects
+              them — use ``extra``);
+            * ``PartitionWindow`` — a timed partition between process
+              groups.
+
+            All rules are frozen dataclasses of primitives, so specs
+            carrying them stay picklable (parallel ``run_suite()``) and
+            content-hashable (result-cache keys).  A runnable partition
+            scenario::
+
+                from repro.net.faults import PartitionWindow
+
+                spec = StackSpec(
+                    n=3, abcast="indirect", consensus="ct-indirect",
+                    faults=(PartitionWindow(
+                        start=0.2, end=0.5, groups=((1, 2), (3,)),
+                    ),),
+                )
+                system = build_system(spec)
+                # p3 is cut off between t=0.2s and t=0.5s, then heals.
+
+        topology: Optional :class:`~repro.net.topology.Topology`
+            placing the ``n`` processes on multiple contention segments
+            joined by a router; ``None`` = the paper's single shared
+            segment.
     """
 
     n: int
@@ -112,7 +148,8 @@ class StackSpec:
     drop_in_flight_on_crash: bool = False
     enforce_resilience: bool = True
     false_suspicions: tuple[FalseSuspicion, ...] = ()
-    delay_fn: Callable[[Frame], float | None] | None = None
+    faults: tuple = ()
+    topology: Topology | None = None
     #: Ablation knobs (see DESIGN.md section 6): cap on identifiers per
     #: consensus proposal, and the CT-indirect Phase-3 policy when
     #: rcv(v) fails ("nack" = Algorithm 2, "wait" = stall for messages).
@@ -140,6 +177,14 @@ class StackSpec:
         for name in ("constant_latency", "constant_per_byte", "constant_jitter"):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"StackSpec.{name} must be >= 0")
+        object.__setattr__(self, "faults", validate_fault_rules(self.faults))
+        if self.topology is not None:
+            if not isinstance(self.topology, Topology):
+                raise ConfigurationError(
+                    f"StackSpec.topology must be a Topology, "
+                    f"got {self.topology!r}"
+                )
+            self.topology.validate_for(self.n)
 
 
 @dataclass
@@ -195,8 +240,9 @@ def build_system(
     spec: StackSpec,
     crashes: CrashSchedule | None = None,
     trace: TraceObserver | None = None,
+    partitions: PartitionSchedule | None = None,
 ) -> System:
-    """Assemble a complete system from ``spec`` (and arm ``crashes``).
+    """Assemble a complete system from ``spec`` (and arm the schedules).
 
     Args:
         spec: The stack to build.
@@ -206,6 +252,9 @@ def build_system(
             :class:`~repro.sim.trace.MetricsTrace` for long performance
             runs that only need latency numbers (checkers and scenario
             queries require the full trace).
+        partitions: Partition schedule armed alongside ``crashes``;
+            its windows join any ``PartitionWindow`` rules already in
+            ``spec.faults``.
     """
     consensus_cls = _CONSENSUS_CLASSES[spec.consensus]
     abcast_cls, _allowed = _ABCAST_VARIANTS[spec.abcast]
@@ -219,6 +268,8 @@ def build_system(
     crashes = crashes or CrashSchedule.none()
     if spec.enforce_resilience:
         crashes.validate_against(config)
+    partitions = partitions or PartitionSchedule.none()
+    partitions.validate_against(config)
 
     engine = Engine()
     if trace is None:
@@ -230,6 +281,9 @@ def build_system(
             engine,
             spec.params,
             drop_in_flight_of_crashed_sender=spec.drop_in_flight_on_crash,
+            faults=spec.faults,
+            rngs=rngs,
+            topology=spec.topology,
         )
     else:
         network = ConstantLatencyNetwork(
@@ -238,9 +292,12 @@ def build_system(
             per_byte=spec.constant_per_byte,
             jitter=spec.constant_jitter,
             rng=rngs.stream("net.jitter") if spec.constant_jitter > 0 else None,
-            delay_fn=spec.delay_fn,
             drop_in_flight_of_crashed_sender=spec.drop_in_flight_on_crash,
+            faults=spec.faults,
+            rngs=rngs,
+            topology=spec.topology,
         )
+    partitions.apply(network)
 
     processes = {
         pid: SimProcess(pid, engine, trace) for pid in config.processes

@@ -6,6 +6,7 @@ from repro.broadcast.flood import FloodReliableBroadcast
 from repro.broadcast.sender import SenderReliableBroadcast
 from repro.broadcast.uniform import UniformReliableBroadcast
 from repro.checkers.broadcast import BroadcastChecker
+from repro.net.faults import DelayRule
 from tests.helpers import Fabric, app_message, make_fabric
 
 
@@ -101,7 +102,8 @@ class TestSenderRbFaultPaths:
         """Origin crashes after reaching only p2; p2 relays once the FD
         suspects the origin, so p3 still delivers."""
         fabric = make_fabric(3, detection_delay=20e-3, drop_in_flight=True,
-                             delay_fn=lambda f: 1e-3 if f.dst == 2 else 50e-3)
+                             faults=(DelayRule(dst=2, delay=1e-3),
+                                     DelayRule(delay=50e-3)))
         services = mount(fabric, "sender")
         m = app_message(origin=1)
         services[1].broadcast(m)
@@ -113,7 +115,8 @@ class TestSenderRbFaultPaths:
 
     def test_late_copy_relayed_if_origin_already_suspected(self):
         fabric = make_fabric(3, detection_delay=5e-3, drop_in_flight=False,
-                             delay_fn=lambda f: 1e-3 if f.dst == 2 else 40e-3)
+                             faults=(DelayRule(dst=2, delay=1e-3),
+                                     DelayRule(delay=40e-3)))
         services = mount(fabric, "sender")
         m = app_message(origin=1)
         services[1].broadcast(m)
@@ -140,7 +143,7 @@ class TestUrbUniformity:
         """With the origin's frames stuck, nobody reaches a majority of
         copies, so nobody urb-delivers — uniformity preserved trivially."""
         fabric = make_fabric(
-            3, drop_in_flight=True, delay_fn=lambda f: 50e-3
+            3, drop_in_flight=True, faults=(DelayRule(delay=50e-3),)
         )
         services = mount(fabric, "uniform")
         services[1].broadcast(app_message(origin=1))

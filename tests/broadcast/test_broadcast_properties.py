@@ -14,6 +14,7 @@ from repro.broadcast.uniform import UniformReliableBroadcast
 from repro.checkers.broadcast import BroadcastChecker
 from repro.core.identifiers import MessageId
 from repro.core.message import AppMessage, make_payload
+from repro.net.faults import DelayRule
 from tests.helpers import make_fabric
 
 SLOW = settings(
@@ -59,7 +60,9 @@ def run_scenario(kind, scenario):
         n,
         f=f,
         detection_delay=8e-3,
-        delay_fn=lambda frame: delays[frame.dst],
+        faults=tuple(
+            DelayRule(dst=pid, delay=delay) for pid, delay in delays.items()
+        ),
         drop_in_flight=drop,
     )
     services = {}

@@ -7,6 +7,7 @@ from repro.consensus.mostefaoui_raynal import BOTTOM, MostefaouiRaynalConsensus
 from repro.consensus.mr_indirect import MRIndirectConsensus
 from repro.core.events import RDeliverEvent
 from repro.core.identifiers import MessageId
+from repro.net.faults import DelayRule
 from repro.core.rcv import ReceivedStore
 from tests.helpers import Fabric, app_message, make_fabric
 
@@ -74,8 +75,11 @@ class TestEchoMechanics:
             FalseSuspicion(observer=p, target=2, start=0.1e-3, end=50e-3)
             for p in (1, 3)
         )
+        # §3.3.2 staging, declaratively: the coordinator's frames crawl
+        # while everyone else's zip (first matching DelayRule wins).
         fabric = make_fabric(3, false_suspicions=fs,
-                             delay_fn=lambda f: 5e-3 if f.src == 2 else 0.5e-3,
+                             faults=(DelayRule(src=2, delay=5e-3),
+                                     DelayRule(delay=0.5e-3)),
                              network_kind="constant")
         services, stores, decisions = mount(fabric, MostefaouiRaynalConsensus)
         value = frozenset({MessageId(2, 1)})

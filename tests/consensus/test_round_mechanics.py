@@ -13,6 +13,7 @@ from repro.consensus.chandra_toueg import ChandraTouegConsensus
 from repro.consensus.ct_indirect import CTIndirectConsensus
 from repro.core.events import RDeliverEvent
 from repro.core.identifiers import MessageId
+from repro.net.faults import DelayRule
 from repro.core.rcv import ReceivedStore
 from tests.helpers import Fabric, app_message, make_fabric
 
@@ -137,7 +138,9 @@ class TestBuffering:
         """A proposal for an old round must not overwrite the estimate a
         process carried into later rounds."""
         fabric = make_fabric(3, detection_delay=2e-3,
-                             delay_fn=lambda f: 30e-3 if f.kind == "ct.prop" else 1e-3)
+                             faults=(DelayRule(kind_prefix="ct.prop",
+                                               delay=30e-3),
+                                     DelayRule(delay=1e-3)))
         services, stores, decisions = mount(fabric, ChandraTouegConsensus)
         value = frozenset({MessageId(1, 1)})
         for pid in (1, 2, 3):

@@ -1,0 +1,77 @@
+"""Heartbeat failure detection under probabilistic message loss.
+
+The heartbeat detector's mistakes are load-bearing for the ◇S contract:
+lost heartbeats cause *wrong* suspicions, which the adaptive timeout
+must retract (and eventually outgrow).  These tests pin the
+wrong-suspicion rate against the loss probability of a declarative
+:class:`~repro.net.faults.LossRule`, and its determinism across seeds —
+the property the sweep cache relies on.
+"""
+
+from repro.failure.heartbeat import wire_heartbeat_detectors
+from repro.net.faults import LossRule
+from tests.helpers import make_fabric
+
+
+def run_detectors(loss: float, seed: int, crash_p2_at: float | None = None):
+    """A 4-process heartbeat fabric under ``loss``; returns detectors."""
+    faults = (
+        (LossRule(kind_prefix="fd.heartbeat", probability=loss),)
+        if loss > 0
+        else ()
+    )
+    fabric = make_fabric(4, network_kind="constant", faults=faults, seed=seed)
+    detectors = wire_heartbeat_detectors(
+        fabric.transports, interval=10e-3, timeout=25e-3
+    )
+    if crash_p2_at is not None:
+        fabric.crash(2, at=crash_p2_at)
+    fabric.run(until=5.0, max_events=5_000_000)
+    return detectors
+
+
+def wrong_suspicions(loss: float, seed: int) -> int:
+    detectors = run_detectors(loss, seed)
+    return sum(d.suspicions_raised for d in detectors.values())
+
+
+class TestWrongSuspicionRate:
+    def test_no_loss_means_no_wrong_suspicions(self):
+        for seed in (1, 2, 3):
+            assert wrong_suspicions(0.0, seed) == 0
+
+    def test_rate_grows_with_loss_probability(self):
+        for seed in (1, 2, 3):
+            low = wrong_suspicions(0.05, seed)
+            mid = wrong_suspicions(0.2, seed)
+            high = wrong_suspicions(0.4, seed)
+            assert 0 <= low <= mid <= high
+            assert high > 0  # 40% loss cannot go unnoticed
+
+    def test_mistakes_are_retracted(self):
+        """Every wrong suspicion must be retracted — all processes are
+        alive, so a permanent suspicion would break eventual accuracy."""
+        detectors = run_detectors(0.3, seed=1)
+        for detector in detectors.values():
+            assert detector.suspects() == frozenset()
+            assert detector.suspicions_retracted == detector.suspicions_raised
+
+    def test_deterministic_across_identical_seeds(self):
+        for loss in (0.05, 0.2, 0.4):
+            assert wrong_suspicions(loss, seed=7) == wrong_suspicions(
+                loss, seed=7
+            )
+
+    def test_different_seeds_draw_different_loss_patterns(self):
+        counts = {wrong_suspicions(0.2, seed) for seed in range(1, 7)}
+        assert len(counts) > 1
+
+
+class TestCompletenessUnderLoss:
+    def test_real_crash_still_detected_despite_loss(self):
+        """Losing 30% of heartbeats delays but cannot defeat detection
+        of a genuinely crashed process (completeness)."""
+        detectors = run_detectors(0.3, seed=2, crash_p2_at=1.0)
+        for pid, detector in detectors.items():
+            if pid != 2:
+                assert detector.is_suspected(2)

@@ -23,7 +23,9 @@ from repro.harness.runner import (
     spec_key,
 )
 from repro.harness.suite import SweepSpec
+from repro.net.faults import DuplicationRule, LossRule
 from repro.net.setups import SETUP_1
+from repro.net.topology import Topology
 from repro.stack.builder import StackSpec
 
 
@@ -80,9 +82,29 @@ class TestSpecKey:
         assert spec_key(exp_spec(trace_mode="metrics",
                                  safety_checks=False)) != base
 
-    def test_delay_fn_specs_are_uncacheable(self):
-        spec = exp_spec(stack=stack(delay_fn=lambda frame: None))
-        assert spec_key(spec) is None
+    def test_fault_rules_participate_in_the_key(self):
+        # Declarative fault rules are content-hashable: same rules give
+        # the same key, a changed rule is a cache miss.
+        lossy = exp_spec(stack=stack(faults=(LossRule(probability=0.1),)))
+        assert spec_key(lossy) is not None
+        assert spec_key(lossy) == spec_key(
+            exp_spec(stack=stack(faults=(LossRule(probability=0.1),)))
+        )
+        assert spec_key(lossy) != spec_key(exp_spec())
+        assert spec_key(lossy) != spec_key(
+            exp_spec(stack=stack(faults=(LossRule(probability=0.2),)))
+        )
+        assert spec_key(lossy) != spec_key(
+            exp_spec(stack=stack(faults=(DuplicationRule(probability=0.1),)))
+        )
+
+    def test_topology_participates_in_the_key(self):
+        split = exp_spec(stack=stack(topology=Topology.split((1, 2), (3,))))
+        assert spec_key(split) is not None
+        assert spec_key(split) != spec_key(exp_spec())
+        assert spec_key(split) != spec_key(exp_spec(stack=stack(
+            topology=Topology.split((1, 2), (3,), router_latency=1e-3)
+        )))
 
     def test_key_incorporates_a_source_tree_fingerprint(self):
         # The fingerprint is memoised and stable within a process; a
@@ -170,8 +192,13 @@ class TestRunSuite:
         assert full.cache_hits == 4
         assert full.cache_misses == 4
 
-    def test_uncacheable_specs_still_run(self, tmp_path):
-        spec = exp_spec(stack=stack(delay_fn=lambda frame: None))
+    def test_uncacheable_specs_still_run(self, tmp_path, monkeypatch):
+        # No stock spec is uncacheable any more (fault rules hash), so
+        # simulate a spec without a content key to pin the degrade path.
+        monkeypatch.setattr(
+            "repro.harness.runner.spec_key", lambda spec: None
+        )
+        spec = exp_spec()
         suite = run_suite([spec], cache_dir=tmp_path)
         assert suite.uncacheable == 1
         assert suite.cache_misses == 0

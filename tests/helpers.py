@@ -8,18 +8,18 @@ and mount only the layer under test, instead of a full stack.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.core.config import SystemConfig
 from repro.core.identifiers import MessageId, ProcessId
 from repro.core.message import AppMessage, make_payload
 from repro.failure.detector import FalseSuspicion, OracleFailureDetector, wire_oracle_detectors
-from repro.net.frame import Frame
 from repro.net.models import ConstantLatencyNetwork, ContentionNetwork, NetworkParams
 from repro.net.setups import SETUP_1
+from repro.net.topology import Topology
 from repro.net.transport import Transport
 from repro.sim.engine import Engine
 from repro.sim.process import SimProcess
+from repro.sim.rng import RngRegistry
 from repro.sim.trace import Trace
 
 
@@ -34,6 +34,7 @@ class Fabric:
     processes: dict[ProcessId, SimProcess]
     transports: dict[ProcessId, Transport]
     detectors: dict[ProcessId, OracleFailureDetector]
+    rngs: RngRegistry = field(default_factory=RngRegistry)
     services: dict[ProcessId, object] = field(default_factory=dict)
 
     def run(self, until: float = 10.0, max_events: int = 2_000_000) -> float:
@@ -52,23 +53,32 @@ def make_fabric(
     network_kind: str = "constant",
     params: NetworkParams = SETUP_1,
     drop_in_flight: bool = False,
-    delay_fn: Callable[[Frame], float | None] | None = None,
+    faults: tuple = (),
+    topology: Topology | None = None,
     false_suspicions: tuple[FalseSuspicion, ...] = (),
 ) -> Fabric:
     """Build a bare fabric (no protocol layers mounted)."""
     config = SystemConfig(n=n) if f is None else SystemConfig(n=n, f=f)
     engine = Engine()
     trace = Trace()
+    rngs = RngRegistry(seed=seed)
     if network_kind == "constant":
         network: ConstantLatencyNetwork | ContentionNetwork = ConstantLatencyNetwork(
             engine,
             base=latency,
-            delay_fn=delay_fn,
             drop_in_flight_of_crashed_sender=drop_in_flight,
+            faults=faults,
+            rngs=rngs,
+            topology=topology,
         )
     else:
         network = ContentionNetwork(
-            engine, params, drop_in_flight_of_crashed_sender=drop_in_flight
+            engine,
+            params,
+            drop_in_flight_of_crashed_sender=drop_in_flight,
+            faults=faults,
+            rngs=rngs,
+            topology=topology,
         )
     processes = {pid: SimProcess(pid, engine, trace) for pid in config.processes}
     transports = {pid: Transport(processes[pid], network) for pid in config.processes}
@@ -83,6 +93,7 @@ def make_fabric(
         processes=processes,
         transports=transports,
         detectors=detectors,
+        rngs=rngs,
     )
 
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.exceptions import ConfigurationError
+from repro.net.faults import DelayRule
 from repro.net.frame import FRAME_HEADER_SIZE, Frame
 from repro.net.models import ConstantLatencyNetwork, ContentionNetwork, NetworkParams
 from repro.sim.engine import Engine
@@ -71,9 +72,10 @@ class TestConstantLatency:
         engine.run_until_idle()
         assert engine.now == pytest.approx(1e-3 + 1e-6 * f.wire_size())
 
-    def test_delay_fn_overrides(self):
-        engine, network, _, inboxes = make_net()
-        network.delay_fn = lambda fr: 5e-3 if not fr.control else None
+    def test_delay_rule_overrides(self):
+        engine, network, _, inboxes = make_net(
+            faults=(DelayRule(control=False, delay=5e-3),)
+        )
         network.send(frame(control=False))
         network.send(frame(control=True))
         engine.run(until=2e-3)
@@ -183,3 +185,30 @@ class TestContention:
         engine, network, processes, _ = make_net(kind="contention")
         network.charge_rcv_lookups(1, lookups=0)
         assert processes[1].cpu.busy_time == 0.0
+
+    def test_drop_in_flight_covers_frames_queued_on_the_medium(self):
+        """A crashing sender's frames still queued on the shared medium
+        must die with it under the drop policy — previously only frames
+        not yet past the sender CPU were dropped."""
+        engine, network, processes, inboxes = make_net(
+            n=3, kind="contention", drop_in_flight_of_crashed_sender=True
+        )
+        # Five large frames queue behind each other on the medium
+        # (~1ms wire time each); the first delivers before the crash at
+        # t=1.5ms, the rest are still in flight and must be lost.
+        for _ in range(5):
+            network.send(frame(src=1, dst=2, size=10_000))
+        engine.schedule(1.5e-3, processes[1].crash)
+        engine.run_until_idle()
+        assert len(inboxes[2]) == 1
+        assert network.frames_dropped == 4
+
+    def test_in_flight_on_medium_survives_without_drop_policy(self):
+        engine, network, processes, inboxes = make_net(
+            n=3, kind="contention", drop_in_flight_of_crashed_sender=False
+        )
+        for _ in range(5):
+            network.send(frame(src=1, dst=2, size=10_000))
+        engine.schedule(1.5e-3, processes[1].crash)
+        engine.run_until_idle()
+        assert len(inboxes[2]) == 5

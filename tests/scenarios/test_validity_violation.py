@@ -21,23 +21,32 @@ nobody can back.
 
 import pytest
 
-from repro import CrashSchedule, StackSpec, build_system, check_abcast, make_payload
+from repro import (
+    CrashSchedule,
+    DelayRule,
+    StackSpec,
+    build_system,
+    check_abcast,
+    make_payload,
+)
 from repro.checkers.consensus import ConsensusChecker
 from repro.core.exceptions import ProtocolViolationError
 
+#: The §2.2 staging as declarative rules: p2's bulk data crawls, all
+#: other traffic is quick (first matching rule wins).
+SECTION_22_DELAYS = (
+    DelayRule(src=2, control=False, delay=50e-3),
+    DelayRule(delay=0.5e-3),
+)
+
 
 def staged_system(abcast: str, consensus: str, n: int = 3):
-    def delay_fn(frame):
-        if not frame.control and frame.src == 2:
-            return 50e-3  # p2's bulk data crawls
-        return 0.5e-3  # control traffic is quick
-
     spec = StackSpec(
         n=n,
         abcast=abcast,
         consensus=consensus,
         network="constant",
-        delay_fn=delay_fn,
+        faults=SECTION_22_DELAYS,
         drop_in_flight_on_crash=True,
         fd="oracle",
         fd_detection_delay=10e-3,
@@ -103,15 +112,12 @@ class TestCorrectStacksSurviveTheSameSchedule:
         """The bug is latent: the very same faulty stack passes every
         check when nobody crashes — which is why it shipped in real
         group-communication systems."""
-        def delay_fn(frame):
-            return 50e-3 if (not frame.control and frame.src == 2) else 0.5e-3
-
         spec = StackSpec(
             n=3,
             abcast="faulty-ids",
             consensus="ct",
             network="constant",
-            delay_fn=delay_fn,
+            faults=SECTION_22_DELAYS,
             fd="oracle",
             seed=1,
         )

@@ -45,11 +45,7 @@ class TestWaitPolicyUnderCrashes:
         """Even with waiting instead of nacking, the staged §2.2 crash
         cannot produce a validity violation: the wait resolves via
         suspicion of the crashed sender-coordinator."""
-
-        def delay_fn(frame):
-            if not frame.control and frame.src == 2:
-                return 50e-3
-            return 0.5e-3
+        from repro import DelayRule
 
         spec = StackSpec(
             n=3,
@@ -57,7 +53,8 @@ class TestWaitPolicyUnderCrashes:
             consensus="ct-indirect",
             ct_missing_policy="wait",
             network="constant",
-            delay_fn=delay_fn,
+            faults=(DelayRule(src=2, control=False, delay=50e-3),
+                    DelayRule(delay=0.5e-3)),
             drop_in_flight_on_crash=True,
             fd_detection_delay=10e-3,
             seed=1,

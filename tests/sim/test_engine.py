@@ -89,6 +89,40 @@ class TestCancellation:
         handle.cancel()
         assert engine.pending() == 1
 
+    def test_pending_counter_tracks_execution(self):
+        engine = Engine()
+        for _ in range(3):
+            engine.schedule(0.1, lambda: None)
+        assert engine.pending() == 3
+        engine.run(until=0.1)
+        assert engine.pending() == 0
+
+    def test_pending_counts_events_scheduled_from_callbacks(self):
+        engine = Engine()
+        engine.schedule(0.1, lambda: engine.schedule(0.1, lambda: None))
+        engine.run(until=0.1)
+        assert engine.pending() == 1
+
+    def test_cancel_after_execution_is_a_noop(self):
+        # Cancelling a handle whose callback already fired must neither
+        # mark it cancelled nor corrupt the pending counter.
+        engine = Engine()
+        handle = engine.schedule(0.1, lambda: None)
+        engine.schedule(0.5, lambda: None)
+        engine.run(until=0.2)
+        assert handle.finished
+        handle.cancel()
+        assert not handle.cancelled
+        assert engine.pending() == 1
+
+    def test_double_cancel_decrements_once(self):
+        engine = Engine()
+        engine.schedule(0.1, lambda: None)
+        handle = engine.schedule(0.2, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending() == 1
+
 
 class TestRunControl:
     def test_until_stops_and_advances_clock(self):
