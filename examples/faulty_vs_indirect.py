@@ -40,12 +40,17 @@ from repro import (
 )
 from repro.core.exceptions import ProtocolViolationError
 from repro.harness.runner import parallel_map
+from repro.stack import layers
 
-#: The two stacks under test, in presentation order.
+#: The two stacks under test, in presentation order.  Variant names are
+#: resolved through the layer registry up front: a typo fails right here
+#: with the registry's did-you-mean message instead of a deep KeyError.
 STACKS = (
-    ("FAULTY stack: RB + unmodified consensus on ids", "faulty-ids", "ct"),
+    ("FAULTY stack: RB + unmodified consensus on ids",
+     layers.ABCASTS.get("faulty-ids").name, layers.CONSENSUS.get("ct").name),
     ("CORRECT stack: RB + indirect consensus (Algorithms 1 + 2)",
-     "indirect", "ct-indirect"),
+     layers.ABCASTS.get("indirect").name,
+     layers.CONSENSUS.get("ct-indirect").name),
 )
 
 

@@ -20,18 +20,23 @@ from repro.harness.report import render_table
 from repro.harness.suite import SweepSpec
 from repro.stack.builder import StackSpec
 
+
+def _stack(abcast: str, consensus: str, rb: str = "flood", **kwargs) -> StackSpec:
+    """One study stack; StackSpec resolves the names through the layer
+    registry, so a typo fails with a did-you-mean suggestion instead of
+    a deep ``KeyError`` at build time."""
+    return StackSpec(n=3, abcast=abcast, consensus=consensus, rb=rb, **kwargs)
+
+
 SETUP1_SWEEP = SweepSpec(
     name="study-setup1",
     variants=(
         ("consensus on messages",
-         StackSpec(n=3, abcast="on-messages", consensus="ct", rb="sender",
-                   params=SETUP_1)),
+         _stack("on-messages", "ct", "sender", params=SETUP_1)),
         ("faulty consensus on ids",
-         StackSpec(n=3, abcast="faulty-ids", consensus="ct", rb="sender",
-                   params=SETUP_1)),
+         _stack("faulty-ids", "ct", "sender", params=SETUP_1)),
         ("indirect consensus (Alg. 2)",
-         StackSpec(n=3, abcast="indirect", consensus="ct-indirect",
-                   rb="sender", params=SETUP_1)),
+         _stack("indirect", "ct-indirect", "sender", params=SETUP_1)),
     ),
     throughputs=(100.0,),
     payloads=(2500,),
@@ -44,13 +49,11 @@ SETUP2_SWEEP = SweepSpec(
     name="study-setup2",
     variants=(
         ("URB + consensus on ids",
-         StackSpec(n=3, abcast="urb-ids", consensus="ct", params=SETUP_2)),
+         _stack("urb-ids", "ct", params=SETUP_2)),
         ("indirect + RB O(n^2)",
-         StackSpec(n=3, abcast="indirect", consensus="ct-indirect",
-                   rb="flood", params=SETUP_2)),
+         _stack("indirect", "ct-indirect", "flood", params=SETUP_2)),
         ("indirect + RB O(n)",
-         StackSpec(n=3, abcast="indirect", consensus="ct-indirect",
-                   rb="sender", params=SETUP_2)),
+         _stack("indirect", "ct-indirect", "sender", params=SETUP_2)),
     ),
     throughputs=(1500.0,),
     payloads=(1000,),

@@ -29,6 +29,8 @@ from repro.net.setups import SETUP_1
 from repro.net.topology import Topology
 from repro.stack.builder import StackSpec
 
+# StackSpec resolves variant names through the layer registry, so a
+# typo here fails with a did-you-mean suggestion.
 STACK = StackSpec(
     n=3, abcast="indirect", consensus="ct-indirect", rb="sender",
     params=SETUP_1,

@@ -16,7 +16,10 @@ from repro import StackSpec, build_system, check_abcast, make_payload
 def main() -> None:
     # 1. Describe the stack.  n=3 processes; "indirect" is Algorithm 1
     #    of the paper; "ct-indirect" is Algorithm 2 (the ◇S indirect
-    #    consensus); diffusion is the O(n) reliable broadcast.
+    #    consensus); diffusion is the O(n) reliable broadcast.  The
+    #    names resolve through the layer registry, so a typo fails
+    #    right here with a did-you-mean suggestion (run
+    #    `python -m repro.harness --list-variants` for the catalog).
     spec = StackSpec(n=3, abcast="indirect", consensus="ct-indirect", rb="sender")
     system = build_system(spec)
 

@@ -50,6 +50,8 @@ class BankReplica:
 
 
 def main() -> None:
+    # StackSpec resolves variant names through the layer registry, so a
+    # typo fails with a did-you-mean suggestion, not a deep KeyError.
     spec = StackSpec(n=5, abcast="indirect", consensus="ct-indirect", seed=42)
     system = build_system(spec, CrashSchedule.single(3, 0.040))
     replicas = {

@@ -16,6 +16,8 @@ from repro.harness.report import render_table
 
 
 def run(label, throughput, rb="sender", crash=None):
+    # StackSpec resolves the variant names through the layer registry,
+    # so typos fail with the registry's did-you-mean suggestion.
     spec = StackSpec(n=3, abcast="indirect", consensus="ct-indirect",
                      rb=rb, seed=7, fd_detection_delay=20e-3)
     crashes = CrashSchedule.single(*crash) if crash else CrashSchedule.none()

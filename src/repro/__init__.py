@@ -50,12 +50,13 @@ from repro.net.faults import (
 from repro.net.setups import SETUP_1, SETUP_2
 from repro.net.topology import Topology
 from repro.stack import StackSpec, System, build_system
-from repro.workload import SymmetricWorkload
+from repro.workload import ClosedLoopWorkload, SymmetricWorkload
 
 __version__ = "1.1.0"
 
 __all__ = [
     "AppMessage",
+    "ClosedLoopWorkload",
     "CrashSchedule",
     "DelayRule",
     "DuplicationRule",

@@ -7,6 +7,7 @@ Usage::
     python -m repro.harness --figure 2            # the Figure-2 quorum table
     python -m repro.harness --figure 7 --jobs 8   # 8 worker processes
     python -m repro.harness --figure 4 --trace-mode metrics  # cheap sweeps
+    python -m repro.harness --list-variants       # the layer registry
 
 Figure grids execute through :func:`repro.harness.runner.run_suite`:
 points fan out over a process pool (``--jobs``) and completed points
@@ -23,6 +24,7 @@ import time
 from repro.harness import figures as figmod
 from repro.harness.figures import SuiteOptions
 from repro.harness.report import render_figure, render_table
+from repro.stack import layers
 
 _FIGURES = {
     "1": figmod.figure1,
@@ -32,6 +34,33 @@ _FIGURES = {
     "6": figmod.figure6,
     "7": figmod.figure7,
 }
+
+
+def render_variants() -> str:
+    """The layer registry, rendered family by family."""
+    lines = ["Registered layer variants (see repro.stack.layers):"]
+    for registry in layers.FAMILIES:
+        lines.append(f"\n{registry.family}:")
+        for entry in registry:
+            lines.append(f"  {entry.name:<14} {entry.description}")
+            details = []
+            consensuses = entry.get("compatible_consensus")
+            if consensuses:
+                details.append(f"consensus: {', '.join(consensuses)}")
+            if entry.get("rb_override"):
+                details.append(f"rb forced to: {entry['rb_override']}")
+            if entry.frame_kinds:
+                details.append(f"frames: {', '.join(entry.frame_kinds)}")
+            for detail in details:
+                lines.append(f"  {'':<14}   {detail}")
+    lines.append(
+        "\nStack combinations allowed by the compatibility constraints:"
+    )
+    for abcast, consensus, rb, fd in layers.compatible_combinations():
+        lines.append(
+            f"  abcast={abcast} consensus={consensus} rb={rb} fd={fd}"
+        )
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -80,7 +109,17 @@ def main(argv: list[str] | None = None) -> int:
         help="'full' safety-checks every run; 'metrics' streams latency "
              "only (no event trace, far less memory on long sweeps)",
     )
+    parser.add_argument(
+        "--list-variants",
+        action="store_true",
+        help="print every registered layer variant (and the stack "
+             "combinations the compatibility constraints allow), then exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.list_variants:
+        print(render_variants())
+        return 0
 
     options = SuiteOptions(
         processes=args.jobs,

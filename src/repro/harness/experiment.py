@@ -27,7 +27,7 @@ from repro.metrics.latency import (
 )
 from repro.sim.trace import MetricsTrace, Trace
 from repro.stack.builder import StackSpec, build_system
-from repro.workload.generators import SymmetricWorkload
+from repro.stack.layers import WORKLOADS
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,10 @@ class ExperimentSpec:
         drain: Extra simulated seconds after the sending window for
             in-flight messages to be delivered.
         arrivals: ``"poisson"`` | ``"uniform"``.
+        workload: Name of the workload generator in the ``workload``
+            layer registry: ``"symmetric"`` (the paper's open-loop
+            source) or ``"closed-loop"`` (each client waits for its own
+            adelivery before sending again).
         safety_checks: Run the (safety-only) abcast checks on the trace;
             on by default — a performance number from an incorrect run
             is worthless.  Requires ``trace_mode="full"``.
@@ -63,11 +67,13 @@ class ExperimentSpec:
     warmup: float = 0.1
     drain: float = 1.0
     arrivals: str = "poisson"
+    workload: str = "symmetric"
     safety_checks: bool = True
     trace_mode: str = "full"
     max_events: int = 50_000_000
 
     def __post_init__(self) -> None:
+        WORKLOADS.get(self.workload)  # unknown names fail here, with a hint
         if self.trace_mode not in ("full", "metrics"):
             raise ConfigurationError(
                 f"unknown trace_mode {self.trace_mode!r}; "
@@ -125,26 +131,30 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     else:
         trace = Trace()
     system = build_system(spec.stack, CrashSchedule.none(), trace=trace)
-    workload = SymmetricWorkload(
+    workload = WORKLOADS.get(spec.workload).factory(
         system,
         throughput=spec.throughput,
         payload_size=spec.payload,
         duration=spec.duration,
         arrivals=spec.arrivals,
     )
-    sent = workload.install()
+    workload.install()
+
     horizon = spec.duration + spec.drain
 
     def drained() -> bool:
+        # Once now > duration the chained generators have fired their
+        # last send, so workload.sent is the run's final offered load.
         return (
             system.engine.now > spec.duration
             and all(
-                abcast.delivered_count() >= sent
+                abcast.delivered_count() >= workload.sent
                 for abcast in system.abcasts.values()
             )
         )
 
     system.engine.run(until=horizon, max_events=spec.max_events, stop_when=drained)
+    sent = workload.sent
 
     if spec.safety_checks:
         # Liveness is not asserted here (a saturated run legitimately has

@@ -37,6 +37,7 @@ from repro.harness.runner import run_suite
 from repro.harness.suite import SweepSpec
 from repro.net.models import NetworkParams
 from repro.net.setups import SETUP_1, SETUP_2
+from repro.stack import layers
 from repro.stack.builder import StackSpec
 
 
@@ -90,30 +91,38 @@ class FigureData:
 # ----------------------------------------------------------------------
 
 
+#: Figure-legend label -> (abcast, consensus, rb) registry names.
+#: Figures 1, 3 and 4 use the O(n) reliable broadcast for diffusion:
+#: at their offered loads (up to 800 msg/s x 5000 B on 100 Mb/s
+#: Ethernet) an O(n^2) flood would exceed the wire capacity outright,
+#: which the paper's measured latencies show the authors did not pay.
+_LEGEND = {
+    "Consensus": ("on-messages", "ct", "sender"),
+    "(Faulty) Consensus": ("faulty-ids", "ct", "sender"),
+    "Indirect consensus": ("indirect", "ct-indirect", "sender"),
+    "Indirect consensus w/ rbcast O(n^2)": ("indirect", "ct-indirect", "flood"),
+    "Indirect consensus w/ rbcast O(n)": ("indirect", "ct-indirect", "sender"),
+    "Consensus w/ uniform rbcast": ("urb-ids", "ct", "flood"),
+}
+
+# Every legend row must name registered variants; checked against the
+# registry at import, so an unregistered name fails here with the
+# registry's suggestion message, not mid-sweep.
+for _abcast, _consensus, _rb in _LEGEND.values():
+    layers.ABCASTS.get(_abcast)
+    layers.CONSENSUS.get(_consensus)
+    layers.BROADCASTS.get(_rb)
+
+
 def _stack(variant: str, n: int, params: NetworkParams, seed: int) -> StackSpec:
-    # Figures 1, 3 and 4 use the O(n) reliable broadcast for diffusion:
-    # at their offered loads (up to 800 msg/s x 5000 B on 100 Mb/s
-    # Ethernet) an O(n^2) flood would exceed the wire capacity outright,
-    # which the paper's measured latencies show the authors did not pay.
-    table = {
-        "Consensus": dict(abcast="on-messages", consensus="ct", rb="sender"),
-        "(Faulty) Consensus": dict(abcast="faulty-ids", consensus="ct", rb="sender"),
-        "Indirect consensus": dict(
-            abcast="indirect", consensus="ct-indirect", rb="sender"
-        ),
-        "Indirect consensus w/ rbcast O(n^2)": dict(
-            abcast="indirect", consensus="ct-indirect", rb="flood"
-        ),
-        "Indirect consensus w/ rbcast O(n)": dict(
-            abcast="indirect", consensus="ct-indirect", rb="sender"
-        ),
-        "Consensus w/ uniform rbcast": dict(
-            abcast="urb-ids", consensus="ct", rb="flood"
-        ),
-    }
-    kwargs = table[variant]
-    return StackSpec(n=n, params=params, network="contention", fd="oracle",
-                     seed=seed, **kwargs)
+    # StackSpec resolves the legend's layer names through the registry
+    # (repro.stack.layers): a label naming an unregistered variant
+    # fails at construction with the registry's suggestion message.
+    abcast, consensus, rb = _LEGEND[variant]
+    return StackSpec(
+        n=n, params=params, network="contention", fd="oracle", seed=seed,
+        abcast=abcast, consensus=consensus, rb=rb,
+    )
 
 
 # ----------------------------------------------------------------------

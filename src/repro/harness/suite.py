@@ -39,6 +39,7 @@ from repro.core.exceptions import ConfigurationError
 from repro.harness.experiment import ExperimentSpec
 from repro.net.faults import validate_fault_rules
 from repro.net.topology import Topology
+from repro.stack import layers
 from repro.stack.builder import StackSpec
 
 
@@ -78,6 +79,8 @@ class SweepSpec:
         warmup: Seconds excluded at the start of each run.
         drain: Extra simulated seconds for in-flight deliveries.
         arrivals: ``"poisson"`` | ``"uniform"``.
+        workload: Workload-registry name applied to every grid point:
+            ``"symmetric"`` (open-loop) or ``"closed-loop"``.
         trace_mode: ``"full"`` (checkable event trace) or ``"metrics"``
             (streaming latency accumulators; cheap on long runs).
         safety_checks: Run the abcast safety checkers on each point.
@@ -97,6 +100,7 @@ class SweepSpec:
     warmup: float = 0.1
     drain: float = 0.5
     arrivals: str = "poisson"
+    workload: str = "symmetric"
     trace_mode: str = "full"
     safety_checks: bool | None = None
     max_events: int = 50_000_000
@@ -213,11 +217,55 @@ class SweepSpec:
                                     warmup=self.warmup,
                                     drain=self.drain,
                                     arrivals=self.arrivals,
+                                    workload=self.workload,
                                     safety_checks=checks,
                                     trace_mode=self.trace_mode,
                                     max_events=self.max_events,
                                 ))
         return tuple(specs)
+
+
+def registry_variants(
+    n: int,
+    abcasts: Iterable[str] | None = None,
+    fds: Iterable[str] = ("oracle",),
+    **stack_kwargs,
+) -> tuple[tuple[str, StackSpec], ...]:
+    """``(label, stack)`` variant pairs enumerated from the layer registry.
+
+    Walks :func:`repro.stack.layers.compatible_combinations` — every
+    registered atomic-broadcast variant with every consensus / rb / fd
+    combination its registry entry allows — so a sweep over "all
+    stacks" automatically includes newly registered ones.  Labels are
+    ``abcast/consensus/rb/fd`` (axes with a single choice are elided).
+
+    Args:
+        n: Group size for every generated :class:`StackSpec`.
+        abcasts: Restrict to these abcast names (default: all).
+        fds: Restrict to these failure detectors (default: oracle).
+        **stack_kwargs: Extra :class:`StackSpec` fields (``params``,
+            ``network``, ``seed``, ...) shared by every variant.
+    """
+    wanted_abcasts = None if abcasts is None else set(abcasts)
+    wanted_fds = set(fds)
+    variants = []
+    for abcast, consensus, rb, fd in layers.compatible_combinations():
+        if wanted_abcasts is not None and abcast not in wanted_abcasts:
+            continue
+        if fd not in wanted_fds:
+            continue
+        label = abcast
+        if len(layers.ABCASTS.get(abcast)["compatible_consensus"]) > 1:
+            label += f"/{consensus}"
+        if not layers.ABCASTS.get(abcast)["rb_override"] and consensus != "none":
+            label += f"/{rb}"
+        if len(wanted_fds) > 1:
+            label += f"/{fd}"
+        variants.append((label, StackSpec(
+            n=n, abcast=abcast, consensus=consensus, rb=rb, fd=fd,
+            **stack_kwargs,
+        )))
+    return tuple(variants)
 
 
 def expand(sweeps: Iterable[SweepSpec] | SweepSpec) -> tuple[ExperimentSpec, ...]:

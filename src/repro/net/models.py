@@ -108,6 +108,7 @@ class Network:
     ) -> None:
         self.engine = engine
         self._processes: dict[ProcessId, "SimProcess"] = {}
+        self._pids_sorted: tuple[ProcessId, ...] = ()
         self._handlers: dict[ProcessId, Callable[[Frame], None]] = {}
         self.drop_in_flight_of_crashed_sender = drop_in_flight_of_crashed_sender
         self._in_flight: dict[ProcessId, list[EventHandle]] = {}
@@ -128,6 +129,7 @@ class Network:
         """Register ``process`` and its inbound frame ``handler``."""
         self.topology.segment_of(process.pid)  # placement must exist
         self._processes[process.pid] = process
+        self._pids_sorted = tuple(sorted(self._processes))
         self._handlers[process.pid] = handler
         self._in_flight[process.pid] = []
         if self.drop_in_flight_of_crashed_sender:
@@ -137,8 +139,16 @@ class Network:
         return self._processes[pid]
 
     def pids(self) -> tuple[ProcessId, ...]:
-        """Every attached process id, in ascending order."""
-        return tuple(sorted(self._processes))
+        """Every attached process id, in ascending order.
+
+        O(1): the tuple is rebuilt on :meth:`attach` (rare, wiring
+        time), not per call — the frame send path reads it per
+        multicast.  Callers may rely on the returned tuple being
+        identical (``is``) between attaches, which is what lets
+        :meth:`~repro.net.transport.Transport.send_all` cache its
+        derived destination tuples.
+        """
+        return self._pids_sorted
 
     # ------------------------------------------------------------------
     # Send path

@@ -33,6 +33,10 @@ class Transport:
         self.process = process
         self.network = network
         self._handlers: dict[str, FrameHandler] = {}
+        # send_all destination cache, keyed by the network's pids tuple
+        # identity (it is rebuilt only when a process attaches).
+        self._peers_snapshot: tuple[ProcessId, ...] = ()
+        self._others: tuple[ProcessId, ...] = ()
         network.attach(process, self._dispatch)
 
     @property
@@ -99,6 +103,10 @@ class Transport:
         Multicast on a LAN without IP multicast is n unicasts; each copy
         is charged separately by the network model, which is what makes
         O(n) vs O(n**2) broadcast algorithms measurably different.
+
+        Arbitrary destination sets pay a ``sorted`` per call; the
+        broadcast hot path is :meth:`send_all`, which iterates
+        precomputed sorted tuples instead.
         """
         for dst in sorted(dsts):
             self.send(dst, kind, body, size, control)
@@ -111,6 +119,16 @@ class Transport:
         include_self: bool = True,
         control: bool = True,
     ) -> None:
-        """Send to every attached process (optionally skipping self)."""
-        dsts = [p for p in self.peers if include_self or p != self.pid]
-        self.multicast(dsts, kind, body, size, control)
+        """Send to every attached process (optionally skipping self).
+
+        The destination tuples are derived from the network's peer set
+        once per attach epoch (the peer set is fixed after wiring), so
+        the per-call cost is a plain tuple walk — no list rebuild, no
+        re-sort (see ``benchmarks/test_transport_send_path.py``).
+        """
+        peers = self.network.pids()
+        if peers is not self._peers_snapshot:
+            self._peers_snapshot = peers
+            self._others = tuple(p for p in peers if p != self.pid)
+        for dst in peers if include_self else self._others:
+            self.send(dst, kind, body, size, control)

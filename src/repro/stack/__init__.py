@@ -1,20 +1,37 @@
-"""Stack composition: build complete simulated systems in one call.
+"""Stack composition: registries of layer variants plus a thin composer.
 
-:func:`~repro.stack.builder.build_system` assembles, for every process,
-the full protocol stack the paper evaluates::
+:mod:`repro.stack.registry` defines the registry machinery; the default
+catalog in :mod:`repro.stack.layers` registers every shipped variant of
+every layer family::
 
-    workload / application
-    atomic broadcast      (indirect | faulty-ids | urb-ids | on-messages)
-    consensus             (ct | mr | ct-indirect | mr-indirect)
+    workload / application (symmetric open-loop | closed-loop)
+    atomic broadcast      (indirect | faulty-ids | urb-ids | on-messages
+                           | sequencer)
+    consensus             (ct | mr | ct-indirect | mr-indirect | none)
     broadcast             (flood O(n^2) | sender O(n) | uniform)
     failure detector      (oracle ◇P | heartbeat ◇S)
     transport
     network model         (contention | constant-latency)
 
+:func:`~repro.stack.builder.build_system` resolves a
+:class:`~repro.stack.builder.StackSpec`'s names through the registries
 and returns a :class:`~repro.stack.builder.System` handle exposing the
-engine, trace, per-process services, and run helpers.
+engine, trace, per-process services, and run helpers.  New stacks are
+added by registering entries (see the sequencer registration at the
+bottom of ``layers.py``) — the composer never changes.
 """
 
-from repro.stack.builder import StackSpec, System, build_system
+from repro.stack import layers
+from repro.stack.builder import BuildContext, StackSpec, System, build_system
+from repro.stack.registry import LayerEntry, LayerRegistry, frame_kind_conflicts
 
-__all__ = ["StackSpec", "System", "build_system"]
+__all__ = [
+    "BuildContext",
+    "LayerEntry",
+    "LayerRegistry",
+    "StackSpec",
+    "System",
+    "build_system",
+    "frame_kind_conflicts",
+    "layers",
+]

@@ -1,10 +1,15 @@
-"""System builder: from a declarative spec to a runnable simulation.
+"""System composer: from a declarative spec to a runnable simulation.
 
-The :class:`StackSpec` names one of the paper's four atomic-broadcast
-stacks and its substrates; :func:`build_system` turns it into ``n``
-fully wired processes over a shared network and returns the
-:class:`System` handle that tests, examples, and the benchmark harness
-all drive.
+The :class:`StackSpec` *names* the layers of one protocol stack; the
+names resolve through the layer registries of
+:mod:`repro.stack.layers`, and :func:`build_system` is a thin composer
+that walks the registry entries in stack order — network, processes,
+transports, failure detectors, then one per-process protocol assembly
+per the atomic-broadcast entry's factory.  Compatibility rules (which
+consensus an abcast variant accepts, which ``StackSpec`` fields an
+entry validates) live on the registry entries, not here: registering a
+new stack (see :mod:`repro.abcast.sequencer`) requires no change to
+this module.
 """
 
 from __future__ import annotations
@@ -12,24 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.abcast.base import AtomicBroadcast
-from repro.abcast.faulty_ids import FaultyIdsAtomicBroadcast
-from repro.abcast.indirect import IndirectAtomicBroadcast
-from repro.abcast.on_messages import OnMessagesAtomicBroadcast
-from repro.abcast.urb_ids import UrbIdsAtomicBroadcast
-from repro.broadcast.flood import FloodReliableBroadcast
-from repro.broadcast.sender import SenderReliableBroadcast
-from repro.broadcast.uniform import UniformReliableBroadcast
-from repro.consensus.base import ID_SET_CODEC, MESSAGE_SET_CODEC
-from repro.consensus.chandra_toueg import ChandraTouegConsensus
-from repro.consensus.ct_indirect import CTIndirectConsensus
-from repro.consensus.mostefaoui_raynal import MostefaouiRaynalConsensus
-from repro.consensus.mr_indirect import MRIndirectConsensus
 from repro.core.config import SystemConfig
 from repro.core.exceptions import ConfigurationError
 from repro.core.identifiers import ProcessId
 from repro.failure.crash import CrashSchedule
-from repro.failure.detector import FalseSuspicion, wire_oracle_detectors
-from repro.failure.heartbeat import wire_heartbeat_detectors
+from repro.failure.detector import FalseSuspicion
 from repro.failure.partition import PartitionSchedule
 from repro.net.faults import validate_fault_rules
 from repro.net.models import ConstantLatencyNetwork, ContentionNetwork, NetworkParams
@@ -40,36 +32,32 @@ from repro.sim.engine import Engine
 from repro.sim.process import SimProcess
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Trace, TraceObserver
-
-#: abcast variant -> (abcast class, allowed consensus algorithms)
-_ABCAST_VARIANTS = {
-    "indirect": (IndirectAtomicBroadcast, ("ct-indirect", "mr-indirect")),
-    "faulty-ids": (FaultyIdsAtomicBroadcast, ("ct", "mr")),
-    "urb-ids": (UrbIdsAtomicBroadcast, ("ct", "mr")),
-    "on-messages": (OnMessagesAtomicBroadcast, ("ct", "mr")),
-}
-
-_CONSENSUS_CLASSES = {
-    "ct": ChandraTouegConsensus,
-    "mr": MostefaouiRaynalConsensus,
-    "ct-indirect": CTIndirectConsensus,
-    "mr-indirect": MRIndirectConsensus,
-}
+from repro.stack import layers
 
 
 @dataclass(frozen=True)
 class StackSpec:
     """Declarative description of one experiment's protocol stack.
 
+    Every layer-naming field resolves through the registries of
+    :mod:`repro.stack.layers`; run ``python -m repro.harness
+    --list-variants`` for the live catalog.  Unknown names and
+    incompatible combinations raise
+    :class:`~repro.core.exceptions.ConfigurationError` at construction,
+    with a closest-match suggestion for typos.
+
     Attributes:
         n: Number of processes.
-        abcast: ``"indirect"`` | ``"faulty-ids"`` | ``"urb-ids"`` |
-            ``"on-messages"`` — the four stacks of the paper's evaluation.
+        abcast: Atomic-broadcast variant: ``"indirect"`` |
+            ``"faulty-ids"`` | ``"urb-ids"`` | ``"on-messages"`` (the
+            four stacks of the paper's evaluation) | ``"sequencer"``
+            (the fixed-sequencer baseline) | any registered name.
         consensus: ``"ct"`` | ``"mr"`` | ``"ct-indirect"`` |
-            ``"mr-indirect"``.  Must be compatible with ``abcast`` (the
-            indirect stack needs an indirect algorithm, the others need
-            an original one).
-        rb: Diffusion layer for the non-URB stacks: ``"flood"``
+            ``"mr-indirect"`` | ``"none"``.  Must be compatible with
+            ``abcast`` (each abcast registry entry declares the
+            consensus names it accepts; the indirect stack needs an
+            indirect algorithm, the sequencer needs ``"none"``).
+        rb: Diffusion layer for the reduction stacks: ``"flood"``
             (O(n^2) messages, Figs. 5/7a) or ``"sender"`` (O(n)
             messages in good runs, Figs. 6/7b).
         network: ``"contention"`` (performance model) or ``"constant"``
@@ -157,26 +145,7 @@ class StackSpec:
     ct_missing_policy: str = "nack"
 
     def __post_init__(self) -> None:
-        if self.abcast not in _ABCAST_VARIANTS:
-            raise ConfigurationError(
-                f"unknown abcast variant {self.abcast!r}; "
-                f"choose from {sorted(_ABCAST_VARIANTS)}"
-            )
-        _cls, allowed = _ABCAST_VARIANTS[self.abcast]
-        if self.consensus not in allowed:
-            raise ConfigurationError(
-                f"abcast={self.abcast!r} requires consensus in {allowed}, "
-                f"got {self.consensus!r}"
-            )
-        if self.rb not in ("flood", "sender"):
-            raise ConfigurationError(f"unknown rb {self.rb!r}")
-        if self.network not in ("contention", "constant"):
-            raise ConfigurationError(f"unknown network {self.network!r}")
-        if self.fd not in ("oracle", "heartbeat"):
-            raise ConfigurationError(f"unknown fd {self.fd!r}")
-        for name in ("constant_latency", "constant_per_byte", "constant_jitter"):
-            if getattr(self, name) < 0:
-                raise ConfigurationError(f"StackSpec.{name} must be >= 0")
+        layers.validate_stack_spec(self)
         object.__setattr__(self, "faults", validate_fault_rules(self.faults))
         if self.topology is not None:
             if not isinstance(self.topology, Topology):
@@ -185,6 +154,26 @@ class StackSpec:
                     f"got {self.topology!r}"
                 )
             self.topology.validate_for(self.n)
+
+
+@dataclass
+class BuildContext:
+    """Everything a registry factory may need while a system is composed.
+
+    Passed to the ``fd``, ``rb`` and ``abcast`` factories; fields are
+    populated in composition order (``detectors`` is empty until the
+    fd entry has run).
+    """
+
+    spec: StackSpec
+    config: SystemConfig
+    engine: Engine
+    trace: TraceObserver
+    rngs: RngRegistry
+    network: ConstantLatencyNetwork | ContentionNetwork
+    processes: dict[ProcessId, SimProcess]
+    transports: dict[ProcessId, Transport]
+    detectors: dict[ProcessId, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -242,10 +231,11 @@ def build_system(
     trace: TraceObserver | None = None,
     partitions: PartitionSchedule | None = None,
 ) -> System:
-    """Assemble a complete system from ``spec`` (and arm the schedules).
+    """Compose a complete system from ``spec`` (and arm the schedules).
 
     Args:
-        spec: The stack to build.
+        spec: The stack to build; every layer name resolves through the
+            registries in :mod:`repro.stack.layers`.
         crashes: Crash schedule to arm (default: failure-free).
         trace: Event sink for the run.  Defaults to a full
             :class:`~repro.sim.trace.Trace`; pass a
@@ -256,13 +246,12 @@ def build_system(
             its windows join any ``PartitionWindow`` rules already in
             ``spec.faults``.
     """
-    consensus_cls = _CONSENSUS_CLASSES[spec.consensus]
-    abcast_cls, _allowed = _ABCAST_VARIANTS[spec.abcast]
+    abcast_entry = layers.ABCASTS.get(spec.abcast)
 
     f = spec.f
     if f is None:
-        # Default to the algorithm's maximum tolerance at this n.
-        f = consensus_cls.resilience_bound(SystemConfig(n=spec.n, f=0))
+        # Default to the stack's maximum tolerance at this n.
+        f = abcast_entry["default_f"](spec)
     config = SystemConfig(n=spec.n, f=f)
 
     crashes = crashes or CrashSchedule.none()
@@ -276,27 +265,7 @@ def build_system(
         trace = Trace()
     rngs = RngRegistry(seed=spec.seed)
 
-    if spec.network == "contention":
-        network: ConstantLatencyNetwork | ContentionNetwork = ContentionNetwork(
-            engine,
-            spec.params,
-            drop_in_flight_of_crashed_sender=spec.drop_in_flight_on_crash,
-            faults=spec.faults,
-            rngs=rngs,
-            topology=spec.topology,
-        )
-    else:
-        network = ConstantLatencyNetwork(
-            engine,
-            base=spec.constant_latency,
-            per_byte=spec.constant_per_byte,
-            jitter=spec.constant_jitter,
-            rng=rngs.stream("net.jitter") if spec.constant_jitter > 0 else None,
-            drop_in_flight_of_crashed_sender=spec.drop_in_flight_on_crash,
-            faults=spec.faults,
-            rngs=rngs,
-            topology=spec.topology,
-        )
+    network = layers.NETWORKS.get(spec.network).factory(spec, engine, rngs)
     partitions.apply(network)
 
     processes = {
@@ -306,18 +275,17 @@ def build_system(
         pid: Transport(processes[pid], network) for pid in config.processes
     }
 
-    if spec.fd == "oracle":
-        detectors = wire_oracle_detectors(
-            processes,
-            detection_delay=spec.fd_detection_delay,
-            false_suspicions=spec.false_suspicions,
-        )
-    else:
-        detectors = wire_heartbeat_detectors(
-            transports,
-            interval=spec.heartbeat_interval,
-            timeout=spec.heartbeat_timeout,
-        )
+    ctx = BuildContext(
+        spec=spec,
+        config=config,
+        engine=engine,
+        trace=trace,
+        rngs=rngs,
+        network=network,
+        processes=processes,
+        transports=transports,
+    )
+    ctx.detectors.update(layers.FAILURE_DETECTORS.get(spec.fd).factory(ctx))
 
     broadcasts: dict[ProcessId, object] = {}
     consensuses: dict[ProcessId, object] = {}
@@ -330,43 +298,18 @@ def build_system(
         network=network,
         processes=processes,
         transports=transports,
-        detectors=detectors,
+        detectors=ctx.detectors,
         broadcasts=broadcasts,
         consensuses=consensuses,
     )
 
-    codec = MESSAGE_SET_CODEC if spec.abcast == "on-messages" else ID_SET_CODEC
     for pid in config.processes:
-        transport = transports[pid]
-        if spec.abcast == "urb-ids":
-            broadcast = UniformReliableBroadcast(transport, config)
-        elif spec.rb == "flood":
-            broadcast = FloodReliableBroadcast(transport)
-        else:
-            broadcast = SenderReliableBroadcast(transport, detectors[pid])
-        broadcasts[pid] = broadcast
-
-        charge_rcv = None
-        if isinstance(network, ContentionNetwork):
-            charge_rcv = (
-                lambda lookups, _pid=pid: network.charge_rcv_lookups(_pid, lookups)
-            )
-        extra_kwargs = {}
-        if spec.consensus in ("ct", "ct-indirect"):
-            extra_kwargs["missing_policy"] = spec.ct_missing_policy
-        consensus = consensus_cls(
-            transport,
-            config,
-            detectors[pid],
-            codec,
-            charge_rcv=charge_rcv,
-            enforce_resilience=spec.enforce_resilience,
-            **extra_kwargs,
-        )
-        consensuses[pid] = consensus
-        system.abcasts[pid] = abcast_cls(
-            transport, broadcast, consensus, config, batch_cap=spec.batch_cap
-        )
+        broadcast, consensus, abcast = abcast_entry.factory(ctx, pid)
+        if broadcast is not None:
+            broadcasts[pid] = broadcast
+        if consensus is not None:
+            consensuses[pid] = consensus
+        system.abcasts[pid] = abcast
 
     crashes.apply(engine, processes)
     return system

@@ -2,11 +2,19 @@
 
 The paper uses "a simple symmetric workload ... all processes abroadcast
 messages at the same rate and the global rate is called the throughput".
-:class:`~repro.workload.generators.SymmetricWorkload` reproduces it:
-every process abroadcasts at ``throughput / n`` messages per second,
-with Poisson (default) or evenly spaced arrivals, for a fixed duration.
+:class:`~repro.workload.generators.SymmetricWorkload` reproduces it
+open-loop: every process abroadcasts at ``throughput / n`` messages per
+second, with Poisson (default) or evenly spaced arrivals, for a fixed
+duration.  :class:`~repro.workload.generators.ClosedLoopWorkload` is
+the closed-loop counterpart: each client waits for its own adelivery
+(plus a think time) before sending again.
+
+Both are registered in the ``workload`` layer registry
+(:data:`repro.stack.layers.WORKLOADS`) under the names ``"symmetric"``
+and ``"closed-loop"``, which is what ``ExperimentSpec.workload`` and
+``SweepSpec.workload`` name.
 """
 
-from repro.workload.generators import SymmetricWorkload
+from repro.workload.generators import ClosedLoopWorkload, SymmetricWorkload
 
-__all__ = ["SymmetricWorkload"]
+__all__ = ["ClosedLoopWorkload", "SymmetricWorkload"]

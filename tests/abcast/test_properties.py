@@ -44,9 +44,9 @@ def full_stack_scenario(draw):
     )
     # Crash up to f processes (per the *selected algorithm's* bound,
     # which build_system derives as the default f).
-    from repro.stack.builder import _CONSENSUS_CLASSES
+    from repro.stack.layers import CONSENSUS
     from repro.core.config import SystemConfig
-    bound = _CONSENSUS_CLASSES[consensus].resilience_bound(SystemConfig(n=n))
+    bound = CONSENSUS.get(consensus)["cls"].resilience_bound(SystemConfig(n=n))
     crash_count = draw(st.integers(0, bound))
     pids = draw(
         st.lists(st.integers(1, n), min_size=crash_count,

@@ -16,6 +16,17 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["--figure", "99"])
 
+    def test_list_variants_prints_the_registry(self, capsys):
+        assert main(["--list-variants"]) == 0
+        out = capsys.readouterr().out
+        for family in ("abcast:", "consensus:", "rb:", "fd:", "network:",
+                       "workload:", "topology:"):
+            assert family in out
+        for name in ("indirect", "sequencer", "closed-loop", "heartbeat"):
+            assert name in out
+        assert "abcast=sequencer consensus=none" in out
+        assert "frames: seq.fwd" in out
+
     def test_single_quick_figure_runs(self, capsys):
         assert main(["--figure", "1"]) == 0
         out = capsys.readouterr().out

@@ -97,6 +97,44 @@ def make_fabric(
     )
 
 
+def trace_fingerprint(trace: Trace) -> str:
+    """Canonical SHA-256 fingerprint of a full event trace.
+
+    Every event is serialized to a text line containing its type, time
+    (full float repr), process, and the identifiers/instance it names —
+    deterministically ordered, so the digest is stable across interpreter
+    runs and hash seeds.  Two runs with bit-identical protocol behaviour
+    produce the same fingerprint; any divergence in timing, ordering, or
+    content changes it.
+    """
+    import hashlib
+
+    from repro.core.events import (
+        ABroadcastEvent,
+        ADeliverEvent,
+        CrashEvent,
+        DecideEvent,
+        ProposeEvent,
+        RBroadcastEvent,
+        RDeliverEvent,
+    )
+
+    lines = []
+    for event in trace.events:
+        parts = [type(event).__name__, repr(event.time), str(event.process)]
+        if isinstance(event, (ABroadcastEvent, ADeliverEvent,
+                              RBroadcastEvent, RDeliverEvent)):
+            mid = event.message.mid
+            parts += [f"m{mid.origin}.{mid.seq}", str(event.message.payload.size)]
+        elif isinstance(event, (ProposeEvent, DecideEvent)):
+            ids = ",".join(f"m{i.origin}.{i.seq}" for i in sorted(event.value))
+            parts += [str(event.instance), ids]
+        elif isinstance(event, CrashEvent):
+            pass
+        lines.append(" ".join(parts))
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
 _mid_counter = [0]
 
 

@@ -1,0 +1,85 @@
+"""Golden regression: registry composition is bit-identical to the seed.
+
+The fingerprints below were recorded on ``main`` *before* the registry
+refactor, from the hand-wired ``build_system`` (six configurations
+covering all four legacy stacks, both consensus families, both network
+models, both failure detectors, jitter, crashes and the batch cap).
+The registry-composed builder must reproduce every trace **bit for
+bit** — same events, same times, same order.  A drift here means the
+composer no longer wires what the old builder wired.
+
+Same discipline as PR 2's topology refactor
+(``tests/harness/test_fault_sweeps.py``), but at full-trace resolution
+rather than summary metrics.
+"""
+
+import pytest
+
+from repro import CrashSchedule, StackSpec, SymmetricWorkload, build_system
+from repro.net.setups import SETUP_1, SETUP_2
+from tests.helpers import trace_fingerprint
+
+#: label -> (StackSpec kwargs, crash schedule, pre-refactor fingerprint)
+GOLDEN = {
+    "indirect-ct-sender-contention-crash": (
+        dict(n=3, abcast="indirect", consensus="ct-indirect", rb="sender",
+             network="contention", params=SETUP_1, seed=5),
+        CrashSchedule.single(2, 0.1),
+        "926577f371315b5d4596637bc7fb7e7feadc659c1933e850ba2663fbe533a9d3",
+    ),
+    "indirect-mr-flood-constant-heartbeat": (
+        dict(n=4, abcast="indirect", consensus="mr-indirect", rb="flood",
+             network="constant", fd="heartbeat", constant_latency=3e-4,
+             seed=9),
+        CrashSchedule.none(),
+        "542b73e624b747019709a695ac8c94aced893e2278d3c68a4e61399a5149ffed",
+    ),
+    "faulty-ct-sender-contention": (
+        dict(n=3, abcast="faulty-ids", consensus="ct", rb="sender",
+             network="contention", params=SETUP_2, seed=2),
+        CrashSchedule.none(),
+        "8ed0f72ba298ce3e2558edfb9f67e35d537fbd350e28e60287bc5cd2e28f23d7",
+    ),
+    "urb-mr-constant-jitter-crash": (
+        dict(n=5, abcast="urb-ids", consensus="mr", network="constant",
+             constant_latency=5e-4, constant_per_byte=1e-7,
+             constant_jitter=2e-4, seed=13),
+        CrashSchedule.single(3, 0.12),
+        "1ebf395d79fc124f1e00cc81bcfafc331af42c8aef2393d437f3923a266a107e",
+    ),
+    "onmessages-ct-flood-contention": (
+        dict(n=3, abcast="on-messages", consensus="ct", rb="flood",
+             network="contention", params=SETUP_1, seed=7),
+        CrashSchedule.none(),
+        "0d71f875e62030c9c4a1f78513c296eb3bb4346058108d901da6a68c221f8cd8",
+    ),
+    "onmessages-mr-sender-batchcap": (
+        dict(n=4, abcast="on-messages", consensus="mr", rb="sender",
+             network="constant", constant_latency=4e-4, batch_cap=2,
+             seed=11),
+        CrashSchedule.none(),
+        "a93fa171c99eef0174b538b5b0e93251e89b6fee737a63dd6423a4bd7cf22b5c",
+    ),
+}
+
+
+def run_case(kwargs, crashes) -> str:
+    system = build_system(StackSpec(**kwargs), crashes)
+    SymmetricWorkload(
+        system, throughput=200.0, payload_size=48, duration=0.25,
+    ).install()
+    system.run(until=1.5, max_events=5_000_000)
+    return trace_fingerprint(system.trace)
+
+
+@pytest.mark.parametrize("label", sorted(GOLDEN))
+def test_registry_composed_stack_matches_seed_trace(label):
+    kwargs, crashes, expected = GOLDEN[label]
+    assert run_case(kwargs, crashes) == expected
+
+
+def test_fingerprint_is_deterministic_per_seed():
+    kwargs, crashes, _ = GOLDEN["indirect-ct-sender-contention-crash"]
+    assert run_case(kwargs, crashes) == run_case(kwargs, crashes)
+    changed = dict(kwargs, seed=kwargs["seed"] + 1)
+    assert run_case(changed, crashes) != run_case(kwargs, crashes)

@@ -1,9 +1,15 @@
-"""Tests for the symmetric workload generator."""
+"""Tests for the workload generators."""
 
 import pytest
 
-from repro import StackSpec, SymmetricWorkload, build_system
+from repro import (
+    ClosedLoopWorkload,
+    StackSpec,
+    SymmetricWorkload,
+    build_system,
+)
 from repro.core.exceptions import ConfigurationError
+from repro.sim.rng import RngRegistry
 
 
 def make(throughput=300.0, duration=0.5, arrivals="poisson", seed=0, n=3):
@@ -18,15 +24,72 @@ def make(throughput=300.0, duration=0.5, arrivals="poisson", seed=0, n=3):
     return system, wl
 
 
+def eager_send_times(seed, n, throughput, duration, arrivals, start=0.0):
+    """The pre-refactor eager scheduler, replayed draw for draw.
+
+    ``SymmetricWorkload`` used to pre-schedule every send at install
+    time with exactly this loop; the chained-timer implementation must
+    produce identical times from the same streams.
+    """
+    rngs = RngRegistry(seed=seed)
+    per_process_rate = throughput / n
+    times: dict[int, list[float]] = {}
+    for pid in range(1, n + 1):
+        rng = rngs.stream(f"workload.p{pid}")
+        times[pid] = []
+        if arrivals == "poisson":
+            t = start + rng.expovariate(per_process_rate)
+            while t < start + duration:
+                times[pid].append(t)
+                t += rng.expovariate(per_process_rate)
+        else:
+            interval = 1.0 / per_process_rate
+            t = start + rng.uniform(0.0, interval)
+            while t < start + duration:
+                times[pid].append(t)
+                t += interval
+    return times
+
+
+class TestChainedTimersMatchEagerScheduling:
+    @pytest.mark.parametrize("arrivals", ["poisson", "uniform"])
+    def test_send_times_identical_to_eager_version(self, arrivals):
+        system, wl = make(throughput=400.0, duration=0.6, arrivals=arrivals,
+                          seed=21)
+        wl.install()
+        system.run(until=3.0, max_events=5_000_000)
+        expected = eager_send_times(21, 3, 400.0, 0.6, arrivals)
+        actual: dict[int, list[float]] = {pid: [] for pid in (1, 2, 3)}
+        for event in system.trace.abroadcasts():
+            actual[event.message.mid.origin].append(event.time)
+        assert actual == expected
+        assert wl.sent == sum(len(ts) for ts in expected.values())
+
+    def test_heap_holds_one_timer_per_process_not_whole_run(self):
+        system, wl = make(throughput=2000.0, duration=5.0)
+        before = system.engine.pending()
+        wl.install()
+        # Eager scheduling would push ~10000 events here; chaining arms
+        # one timer per process.
+        assert system.engine.pending() - before == 3
+
+
 class TestSymmetricWorkload:
     def test_offered_load_close_to_nominal(self):
-        _, wl = make(throughput=400.0, duration=1.0)
-        scheduled = wl.install()
-        assert scheduled == pytest.approx(400, rel=0.25)
+        system, wl = make(throughput=400.0, duration=1.0)
+        wl.install()
+        system.run(until=1.0, max_events=3_000_000)
+        assert wl.sent == pytest.approx(400, rel=0.25)
 
     def test_uniform_arrivals_are_exact(self):
-        _, wl = make(throughput=300.0, duration=1.0, arrivals="uniform")
-        assert wl.install() == 300
+        system, wl = make(throughput=300.0, duration=1.0, arrivals="uniform")
+        wl.install()
+        system.run(until=1.0, max_events=3_000_000)
+        assert wl.sent == 300
+
+    def test_install_arms_one_chain_per_process(self):
+        _, wl = make(throughput=300.0, duration=1.0)
+        assert wl.install() == 3
 
     def test_every_process_sends(self):
         system, wl = make(throughput=300.0, duration=0.4)
@@ -55,16 +118,17 @@ class TestSymmetricWorkload:
 
     def test_sent_counter_tracks_actual_sends(self):
         system, wl = make(throughput=200.0, duration=0.2)
-        scheduled = wl.install()
+        wl.install()
         system.run(until=1.0, max_events=2_000_000)
-        assert wl.sent == scheduled
+        assert wl.sent == len(system.trace.abroadcasts())
 
     def test_crashed_process_stops_sending(self):
         system, wl = make(throughput=300.0, duration=0.5)
-        scheduled = wl.install()
+        wl.install()
         system.processes[1].crash()
         system.run(until=2.0, max_events=3_000_000)
-        assert wl.sent < scheduled
+        alive = eager_send_times(0, 3, 300.0, 0.5, "poisson")
+        assert wl.sent == len(alive[2]) + len(alive[3])
         assert all(
             e.message.mid.origin != 1 for e in system.trace.abroadcasts()
         )
@@ -86,3 +150,90 @@ class TestSymmetricWorkload:
             system, throughput=10, payload_size=1, duration=2.0, start=1.0
         )
         assert wl.end == 3.0
+
+
+class TestClosedLoopWorkload:
+    def closed(self, throughput=200.0, duration=0.5, n=3, seed=0, **spec_kw):
+        system = build_system(StackSpec(n=n, seed=seed, network="constant",
+                                        **spec_kw))
+        wl = ClosedLoopWorkload(
+            system,
+            throughput=throughput,
+            payload_size=16,
+            duration=duration,
+        )
+        return system, wl
+
+    def test_each_client_has_at_most_one_outstanding_message(self):
+        """A client never abroadcasts again before its own previous
+        message was adelivered at its own process (checked on the
+        trace)."""
+        system, wl = self.closed()
+        wl.install()
+        system.run(until=2.0, max_events=3_000_000)
+        for pid in (1, 2, 3):
+            sends = [
+                e.time for e in system.trace.abroadcasts()
+                if e.message.mid.origin == pid
+            ]
+            own_deliveries = [
+                e.time for e in system.trace.adeliveries(pid)
+                if e.message.mid.origin == pid
+            ]
+            for i in range(1, len(sends)):
+                assert own_deliveries[i - 1] <= sends[i], (
+                    f"p{pid} sent #{i} before delivering #{i - 1}"
+                )
+
+    def test_all_sent_messages_deliver_and_check(self):
+        from repro import check_abcast
+
+        system, wl = self.closed()
+        wl.install()
+        system.run(until=3.0, max_events=3_000_000)
+        assert wl.sent > 0
+        check_abcast(system.trace, system.config)
+        for pid in (1, 2, 3):
+            assert len(system.trace.adelivery_sequence(pid)) == wl.sent
+
+    def test_load_adapts_to_latency(self):
+        """A slower stack receives fewer closed-loop sends in the same
+        window — the defining closed-loop property."""
+        fast_sys, fast = self.closed(constant_latency=1e-4, duration=0.4)
+        slow_sys, slow = self.closed(constant_latency=2e-2, duration=0.4)
+        fast.install()
+        slow.install()
+        fast_sys.run(until=2.0, max_events=3_000_000)
+        slow_sys.run(until=2.0, max_events=3_000_000)
+        assert slow.sent < fast.sent
+
+    def test_crashed_client_stops(self):
+        system, wl = self.closed()
+        wl.install()
+        system.processes[2].crash()
+        system.run(until=2.0, max_events=3_000_000)
+        assert all(
+            e.message.mid.origin != 2 for e in system.trace.abroadcasts()
+        )
+
+    def test_registered_in_workload_registry(self):
+        from repro.stack import layers
+
+        assert "closed-loop" in layers.WORKLOADS
+        assert "symmetric" in layers.WORKLOADS
+        system, _ = self.closed()
+        built = layers.WORKLOADS.get("closed-loop").factory(
+            system, throughput=100.0, payload_size=8, duration=0.1,
+            arrivals="poisson",
+        )
+        assert isinstance(built, ClosedLoopWorkload)
+
+    def test_validation(self):
+        system = build_system(StackSpec(n=3))
+        with pytest.raises(ConfigurationError):
+            ClosedLoopWorkload(system, throughput=0, payload_size=1, duration=1)
+        with pytest.raises(ConfigurationError):
+            ClosedLoopWorkload(
+                system, throughput=10, payload_size=1, duration=1,
+                arrivals="bursty",
+            )
