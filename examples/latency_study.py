@@ -9,7 +9,10 @@ at full sweep resolution.
 The grids are declared as :class:`~repro.harness.suite.SweepSpec`s and
 executed with one :func:`~repro.harness.runner.run_suite` call: all six
 points fan out over the process pool, and a second invocation of this
-script serves every point from the on-disk result cache.
+script serves every point from the on-disk result cache.  The tables
+are queried off the suite's columnar
+:class:`~repro.harness.results.ResultSet` — every metric-probe field is
+a selectable column.
 
 Run:  python examples/latency_study.py
 """
@@ -64,18 +67,21 @@ SETUP2_SWEEP = SweepSpec(
 
 
 def rows_for(sweep, suite):
-    # One grid point per variant, so experiments() aligns with variants.
-    by_name = suite.by_name()
+    # Slice this sweep's points off the suite's columnar surface: one
+    # row per variant label, columns picked straight from the probes.
+    rs = suite.result_set().where(
+        lambda row: row["name"].startswith(f"{sweep.name}/")
+    )
     rows = []
-    for (label, _), spec in zip(sweep.variants, sweep.experiments()):
-        result = by_name[spec.name]
+    for (label,), point in rs.group_by("label").items():
+        row = point.to_rows()[0]
         rows.append({
             "stack": label,
-            "throughput [msg/s]": int(spec.throughput),
-            "payload [B]": spec.payload,
-            "latency [ms]": f"{result.mean_latency_ms:.3f}",
-            "p90 [ms]": f"{result.latency.stats.p90 * 1e3:.3f}",
-            "frames": result.frames_total,
+            "throughput [msg/s]": int(row["throughput"]),
+            "payload [B]": row["payload"],
+            "latency [ms]": f"{row['latency.mean_ms']:.3f}",
+            "p90 [ms]": f"{row['latency.p90_ms']:.3f}",
+            "frames": row["traffic.frames_total"],
         })
     return rows
 

@@ -40,7 +40,7 @@ from repro.core import (
 )
 from repro.failure.crash import CrashSchedule
 from repro.failure.partition import PartitionSchedule
-from repro.metrics import measure_latency
+from repro.metrics import PROBES, MetricValue, Probe, measure_latency
 from repro.net.faults import (
     DelayRule,
     DuplicationRule,
@@ -62,8 +62,11 @@ __all__ = [
     "DuplicationRule",
     "LossRule",
     "MessageId",
+    "MetricValue",
+    "PROBES",
     "PartitionSchedule",
     "PartitionWindow",
+    "Probe",
     "ProcessId",
     "SETUP_1",
     "SETUP_2",

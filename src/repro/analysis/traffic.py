@@ -20,10 +20,38 @@ DATA_PREFIXES = ("rb1.", "rb2.", "urb.")
 
 @dataclass(frozen=True)
 class TrafficBreakdown:
-    """Frames/bytes split by layer and by data-vs-control."""
+    """Frames/bytes split by layer and by data-vs-control.
+
+    Constructible from a live :class:`~repro.net.models.Network`
+    (:func:`traffic_breakdown`) or — since the traffic probe records the
+    same counters into every result — from a (possibly cached)
+    :class:`~repro.harness.experiment.ExperimentResult` via
+    :meth:`from_result`, so post-hoc analysis never needs to re-run the
+    simulation.
+    """
 
     frames_by_kind: dict[str, int] = field(default_factory=dict)
     bytes_by_kind: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(cls, result) -> "TrafficBreakdown":
+        """Rebuild the per-kind counters from a result's traffic probe.
+
+        Args:
+            result: An :class:`~repro.harness.experiment.ExperimentResult`
+                whose spec measured the ``"traffic"`` probe (it is in the
+                default set) — fresh from ``run_experiment`` or loaded
+                from the on-disk sweep cache.
+        """
+        value = result.metric("traffic")
+        frames: dict[str, int] = {}
+        sizes: dict[str, int] = {}
+        for name, number in value.fields:
+            if name.startswith("frames."):
+                frames[name[len("frames."):]] = int(number)
+            elif name.startswith("bytes."):
+                sizes[name[len("bytes."):]] = int(number)
+        return cls(frames_by_kind=frames, bytes_by_kind=sizes)
 
     @property
     def data_frames(self) -> int:

@@ -13,8 +13,14 @@
   ``figure1()`` .. ``figure7()`` declare the paper's grids as sweeps
   and return the same series the paper plots, in *quick* or *full*
   resolution.
-* :mod:`repro.harness.report` — ASCII rendering of figure data, suite
-  results, and the shape assertions that EXPERIMENTS.md records.
+* :mod:`repro.harness.results` — the columnar
+  :class:`~repro.harness.results.ResultSet` query surface over suite
+  output (``select``/``where``/``group_by``/``mean``,
+  ``to_rows``/``to_csv``/``to_json``); every metric-probe field is a
+  column.
+* :mod:`repro.harness.report` — ASCII/CSV/JSON rendering of figure
+  data, result sets, suite results, and the shape assertions that
+  EXPERIMENTS.md records.
 
 Command line::
 
@@ -36,6 +42,7 @@ from repro.harness.runner import (
     run_suite,
     spec_key,
 )
+from repro.harness.results import ResultSet, concat
 from repro.harness.suite import SweepSpec, expand
 from repro.harness.figures import (
     FigureData,
@@ -50,19 +57,26 @@ from repro.harness.figures import (
     figure6,
     figure7,
 )
-from repro.harness.report import render_figure, render_suite, render_table
+from repro.harness.report import (
+    render_figure,
+    render_resultset,
+    render_suite,
+    render_table,
+)
 
 __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "FigureData",
     "ResultCache",
+    "ResultSet",
     "Series",
     "SuiteError",
     "SuiteOptions",
     "SuiteResult",
     "SweepSpec",
     "all_figures",
+    "concat",
     "expand",
     "figure1",
     "figure2_table",
@@ -73,6 +87,7 @@ __all__ = [
     "figure7",
     "parallel_map",
     "render_figure",
+    "render_resultset",
     "render_suite",
     "render_table",
     "run_experiment",

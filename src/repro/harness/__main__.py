@@ -7,12 +7,18 @@ Usage::
     python -m repro.harness --figure 2            # the Figure-2 quorum table
     python -m repro.harness --figure 7 --jobs 8   # 8 worker processes
     python -m repro.harness --figure 4 --trace-mode metrics  # cheap sweeps
+    python -m repro.harness --figure 1 --format csv > fig1.csv
+    python -m repro.harness --figure 3 --metrics latency,traffic
     python -m repro.harness --list-variants       # the layer registry
 
 Figure grids execute through :func:`repro.harness.runner.run_suite`:
 points fan out over a process pool (``--jobs``) and completed points
 are cached on disk (``--cache-dir``, ``--no-cache``), so re-running a
-figure only computes what is missing.
+figure only computes what is missing.  ``--metrics`` picks the probe
+set measured at every point (any registered probe name), and
+``--format csv|json`` exports the full per-point
+:class:`~repro.harness.results.ResultSet` — every spec axis and every
+probe field as columns — instead of the per-panel latency tables.
 """
 
 from __future__ import annotations
@@ -23,7 +29,15 @@ import time
 
 from repro.harness import figures as figmod
 from repro.harness.figures import SuiteOptions
-from repro.harness.report import render_figure, render_table
+from repro.harness.report import (
+    FORMATS,
+    render_figure,
+    render_resultset,
+    render_rows,
+    render_table,
+)
+from repro.harness.results import concat
+from repro.metrics.probes import PROBES
 from repro.stack import layers
 
 _FIGURES = {
@@ -106,8 +120,25 @@ def main(argv: list[str] | None = None) -> int:
         "--trace-mode",
         choices=("full", "metrics"),
         default="full",
-        help="'full' safety-checks every run; 'metrics' streams latency "
-             "only (no event trace, far less memory on long sweeps)",
+        help="'full' safety-checks every run; 'metrics' retains no event "
+             "trace (far less memory on long sweeps); the metric probes "
+             "report identical values either way",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="P1,P2,...",
+        help="comma-separated metric-probe names to measure per point "
+             "(default: the registry defaults; any registered probe, "
+             "including custom ones, may be named)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="table",
+        help="'table' renders per-panel latency tables; 'csv'/'json' "
+             "export every point of the selected figures as one "
+             "columnar ResultSet (all spec axes and probe fields)",
     )
     parser.add_argument(
         "--list-variants",
@@ -121,16 +152,40 @@ def main(argv: list[str] | None = None) -> int:
         print(render_variants())
         return 0
 
+    metrics = None
+    if args.metrics is not None:
+        metrics = tuple(
+            name.strip() for name in args.metrics.split(",") if name.strip()
+        )
+        for name in metrics:
+            if name not in PROBES:
+                parser.error(PROBES.unknown_message(name))
+        if not metrics:
+            parser.error("--metrics needs at least one probe name")
+        if "latency" not in metrics:
+            parser.error(
+                "--metrics must include 'latency': every figure plots "
+                "delivery latency (add probes next to it, e.g. "
+                "--metrics latency,traffic)"
+            )
+
     options = SuiteOptions(
         processes=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         trace_mode=args.trace_mode,
+        metrics=metrics,
     )
     quick = not args.full
+    exporting = args.format != "table"
     started = time.perf_counter()
     if args.figure == "2":
-        print(render_table(figmod.figure2_table(), title="Figure 2 arithmetic"))
+        out = render_rows(
+            figmod.figure2_table(),
+            format=args.format,
+            title="Figure 2 arithmetic",
+        )
+        sys.stdout.write(out if out.endswith("\n") else out + "\n")
         return 0
 
     def show(figure_data) -> None:
@@ -142,16 +197,31 @@ def main(argv: list[str] | None = None) -> int:
             print(render_figure_charts(figure_data))
 
     if args.figure == "all":
-        print(render_table(figmod.figure2_table(), title="Figure 2 arithmetic"))
-        print()
-        for build in _FIGURES.values():
-            show(build(quick, options))
-            print()
+        builds = list(_FIGURES.values())
     else:
         build = _FIGURES.get(args.figure)
         if build is None:
             parser.error(f"unknown figure {args.figure!r}")
-        show(build(quick, options))
+        builds = [build]
+
+    if exporting:
+        # One columnar export of every point of every selected figure;
+        # nothing else on stdout, so the output pipes cleanly.
+        figures_data = [build(quick, options) for build in builds]
+        out = render_resultset(
+            concat([f.resultset for f in figures_data]), format=args.format,
+        )
+        sys.stdout.write(out if out.endswith("\n") else out + "\n")
+        return 0
+
+    if args.figure == "all":
+        print(render_table(figmod.figure2_table(), title="Figure 2 arithmetic"))
+        print()
+        for build in builds:
+            show(build(quick, options))
+            print()
+    else:
+        show(builds[0](quick, options))
     print(f"[done in {time.perf_counter() - started:.1f}s wall]")
     return 0
 

@@ -2,12 +2,17 @@
 
 Terminal-friendly scatter/line charts so `python -m repro.harness` can
 show curve *shapes* directly, next to the numeric tables — the closest
-offline equivalent of the paper's gnuplot figures.
+offline equivalent of the paper's gnuplot figures.  Charts draw
+:class:`~repro.harness.figures.Series`; :func:`series_from` lifts any
+two columns of a :class:`~repro.harness.results.ResultSet` into series
+(one per ``by``-column value), so ad-hoc sweeps chart without figure
+scaffolding.
 """
 
 from __future__ import annotations
 
 from repro.harness.figures import FigureData, Series
+from repro.harness.results import ResultSet
 
 #: Glyphs assigned to series in order (paper figures have <= 3 lines).
 GLYPHS = "*o+x#@"
@@ -61,6 +66,29 @@ def render_chart(
         glyph = GLYPHS[index % len(GLYPHS)]
         lines.append(f"  {glyph} = {series.label}")
     return "\n".join(lines)
+
+
+def series_from(
+    rs: ResultSet,
+    x: str,
+    y: str = "latency.mean_ms",
+    by: str = "label",
+) -> list[Series]:
+    """One :class:`Series` per distinct ``by`` value: ``(x, y)`` points.
+
+    Rows whose ``y`` column is absent (``None``) are skipped — a probe
+    measured on only some variants charts what it measured.
+    """
+    series = []
+    for (group_label,), group in rs.group_by(by).items():
+        # Keep points and results aligned 1:1 (the Series.add invariant):
+        # a row skipped for a missing y drops its result too.
+        measured = group.where(lambda row: row[y] is not None)
+        s = Series(label=str(group_label))
+        s.points = list(zip(measured.column(x), measured.column(y)))
+        s.results = list(measured.results)
+        series.append(s)
+    return series
 
 
 def render_figure_charts(figure: FigureData, width: int = 64, height: int = 16) -> str:

@@ -1,14 +1,22 @@
 """One experiment = one simulated run with a measured steady state.
 
 The runner mirrors the methodology of Section 4: a symmetric workload at
-a fixed global throughput and payload size, latency averaged over all
-processes and all messages abroadcast inside the measurement window
-(warmup and cooldown excluded), on a failure-free run.
+a fixed global throughput and payload size, measured over the steady
+state (warmup and cooldown excluded) of a failure-free run.
+
+Measurement is delegated to **metric probes**
+(:mod:`repro.metrics.probes`): the spec's ``metrics=(...)`` axis names
+probes in the :data:`~repro.metrics.probes.PROBES` registry, a
+:class:`~repro.metrics.probes.ProbeTap` feeds every probe the protocol
+event stream — identically in both trace modes — and the result carries
+each probe's :class:`~repro.metrics.probes.MetricValue` under its
+registry name.  Adding a new measurement to the pipeline is a probe
+registration, not an edit to this module.
 
 Saturated configurations (offered load beyond the stack's capacity) are
 reported honestly: the run is still bounded in simulated time, messages
 that never made it out are counted in ``undelivered``, and the latency
-report covers what was delivered — exactly what a wall-clock-bounded
+probe covers what was delivered — exactly what a wall-clock-bounded
 measurement on the real cluster would have produced.
 """
 
@@ -20,12 +28,16 @@ from dataclasses import dataclass, field
 from repro.checkers.abcast import check_abcast
 from repro.core.exceptions import ConfigurationError
 from repro.failure.crash import CrashSchedule
-from repro.metrics.latency import (
-    LatencyReport,
-    measure_latency,
-    report_from_metrics,
+from repro.metrics.latency import LatencyReport
+from repro.metrics.probes import (
+    DEFAULT_PROBES,
+    MetricValue,
+    ProbeTap,
+    build_probes,
+    validate_probe_names,
 )
-from repro.sim.trace import MetricsTrace, Trace
+from repro.metrics.stats import summarize
+from repro.sim.trace import CountingTrace, Trace, TraceObserver
 from repro.stack.builder import StackSpec, build_system
 from repro.stack.layers import WORKLOADS
 
@@ -48,14 +60,23 @@ class ExperimentSpec:
             layer registry: ``"symmetric"`` (the paper's open-loop
             source) or ``"closed-loop"`` (each client waits for its own
             adelivery before sending again).
+        metrics: Names of the metric probes to run, resolved through
+            :data:`repro.metrics.probes.PROBES` (unknown names fail at
+            construction with a did-you-mean suggestion).  Every probe's
+            output lands in ``ExperimentResult.metrics`` under its
+            name; the defaults cover the paper's measurements.
+        label: Presentation-only curve/grid label (set by
+            :class:`~repro.harness.suite.SweepSpec` expansion; excluded
+            from the result-cache key, like ``name``).
         safety_checks: Run the (safety-only) abcast checks on the trace;
             on by default — a performance number from an incorrect run
             is worthless.  Requires ``trace_mode="full"``.
         trace_mode: ``"full"`` retains the complete event trace (needed
-            by the checkers); ``"metrics"`` streams latency accumulators
-            through a :class:`~repro.sim.trace.MetricsTrace` and retains
-            no event list — the cheap mode for long sweeps whose
-            configuration has already been safety-checked once.
+            by the checkers); ``"metrics"`` retains no event list (a
+            :class:`~repro.sim.trace.CountingTrace`) — the cheap mode
+            for long sweeps whose configuration has already been
+            safety-checked once.  Either way the metric probes observe
+            the same stream and report identical values.
         max_events: Engine runaway guard.
     """
 
@@ -68,12 +89,17 @@ class ExperimentSpec:
     drain: float = 1.0
     arrivals: str = "poisson"
     workload: str = "symmetric"
+    metrics: tuple[str, ...] = DEFAULT_PROBES
+    label: str = ""
     safety_checks: bool = True
     trace_mode: str = "full"
     max_events: int = 50_000_000
 
     def __post_init__(self) -> None:
         WORKLOADS.get(self.workload)  # unknown names fail here, with a hint
+        object.__setattr__(
+            self, "metrics", validate_probe_names(self.metrics)
+        )
         if self.trace_mode not in ("full", "metrics"):
             raise ConfigurationError(
                 f"unknown trace_mode {self.trace_mode!r}; "
@@ -89,48 +115,95 @@ class ExperimentSpec:
 
 @dataclass(frozen=True)
 class ExperimentResult:
-    """Outcome of one experiment."""
+    """Outcome of one experiment.
+
+    ``metrics`` is the generic payload: one
+    :class:`~repro.metrics.probes.MetricValue` per probe the spec
+    requested, keyed by probe name.  The classic scalar accessors
+    (``latency``, ``frames_total``, ``data_bytes``, ...) are derived
+    views over it, kept so pre-probe consumers (and the ``row()`` table
+    shape) continue to work unchanged.
+    """
 
     spec: ExperimentSpec
-    latency: LatencyReport
+    metrics: dict[str, MetricValue]
     sent: int
-    instances_decided: int
-    frames_total: int
-    data_bytes: int
-    control_bytes: int
     undelivered: int
     simulated_seconds: float
     wall_seconds: float
     diagnostics: dict = field(default_factory=dict)
 
+    def metric(self, probe: str) -> MetricValue:
+        """The named probe's value; absent probes fail with a hint."""
+        try:
+            return self.metrics[probe]
+        except KeyError:
+            raise KeyError(
+                f"result carries no {probe!r} metric (measured: "
+                f"{', '.join(self.metrics) or 'none'}); add it to the "
+                f"spec's metrics=(...) axis"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Compatibility shims over the generic payload
+    # ------------------------------------------------------------------
+
+    @property
+    def latency(self) -> LatencyReport:
+        """The latency probe's output as the classic report object."""
+        value = self.metric("latency")
+        samples = value.sample("samples")
+        return LatencyReport(
+            stats=summarize(samples),
+            messages_measured=int(value["messages_measured"]),
+            messages_fully_delivered=int(value["fully_delivered"]),
+            samples=samples,
+        )
+
     @property
     def mean_latency_ms(self) -> float:
         """The paper's metric for this configuration."""
-        return self.latency.mean_ms
+        return self.metric("latency")["mean_ms"]
+
+    @property
+    def instances_decided(self) -> int:
+        return int(self.metric("consensus")["instances_decided"])
+
+    @property
+    def frames_total(self) -> int:
+        return int(self.metric("traffic")["frames_total"])
+
+    @property
+    def data_bytes(self) -> int:
+        return int(self.metric("traffic")["data_bytes"])
+
+    @property
+    def control_bytes(self) -> int:
+        return int(self.metric("traffic")["control_bytes"])
 
     def row(self) -> dict:
-        """Flat summary for tables."""
+        """Flat summary for tables (the pre-``ResultSet`` shape)."""
+        latency = self.metric("latency")
         return {
             "name": self.spec.name,
             "throughput": self.spec.throughput,
             "payload": self.spec.payload,
-            "latency_ms": round(self.mean_latency_ms, 3),
-            "p90_ms": round(self.latency.stats.p90 * 1e3, 3),
+            "latency_ms": round(latency["mean_ms"], 3),
+            "p90_ms": round(latency["p90_ms"], 3),
             "sent": self.sent,
             "undelivered": self.undelivered,
         }
 
 
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    """Build, drive, measure, and (safety-)check one run."""
+    """Build, drive, probe, and (safety-)check one run."""
     started = time.perf_counter()
-    if spec.trace_mode == "metrics":
-        trace: Trace | MetricsTrace = MetricsTrace(
-            warmup=spec.warmup, cutoff=spec.duration
-        )
-    else:
-        trace = Trace()
-    system = build_system(spec.stack, CrashSchedule.none(), trace=trace)
+    base_trace: TraceObserver = (
+        CountingTrace() if spec.trace_mode == "metrics" else Trace()
+    )
+    named_probes = build_probes(spec)
+    tap = ProbeTap(base_trace, (probe for _, probe in named_probes))
+    system = build_system(spec.stack, CrashSchedule.none(), trace=tap)
     workload = WORKLOADS.get(spec.workload).factory(
         system,
         throughput=spec.throughput,
@@ -161,38 +234,27 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         # undelivered backlog); safety must hold regardless.
         check_abcast(system.trace, system.config, expect_quiescent=False)
 
-    if isinstance(trace, MetricsTrace):
-        latency = report_from_metrics(trace, system.config)
-    else:
-        latency = measure_latency(
-            trace,
-            system.config,
-            warmup=spec.warmup,
-            cutoff=spec.duration,
-        )
+    metrics = {
+        name: probe.finish(system, sent) for name, probe in named_probes
+    }
     delivered_min = min(a.delivered_count() for a in system.abcasts.values())
-    network = system.network
-    data_bytes = sum(
-        b for kind, b in network.bytes_sent.items() if kind.endswith(".data")
-    )
-    control_bytes = network.total_bytes() - data_bytes
+    media = getattr(system.network, "media", None)
     return ExperimentResult(
         spec=spec,
-        latency=latency,
+        metrics=metrics,
         sent=sent,
-        instances_decided=len(system.trace.instances()),
-        frames_total=network.total_frames(),
-        data_bytes=data_bytes,
-        control_bytes=control_bytes,
         undelivered=max(0, sent - delivered_min),
         simulated_seconds=system.engine.now,
         wall_seconds=time.perf_counter() - started,
         diagnostics={
             "events": system.engine.events_executed,
-            "medium_utilisation": getattr(
-                network, "medium", None
-            ).utilisation()
-            if hasattr(network, "medium")
+            # Pre-probe shim; the utilisation probe has the per-segment
+            # figures.  Worst segment, not segment 0 (which is what the
+            # old diagnostic silently reported on split topologies).
+            "medium_utilisation": max(
+                (medium.utilisation() for medium in media), default=0.0
+            )
+            if media
             else 0.0,
         },
     )

@@ -32,9 +32,12 @@ from repro.consensus.quorums import (
     max_resilience_for_intersection,
     phase2_quorum,
 )
+from repro.core.exceptions import ConfigurationError
 from repro.harness.experiment import ExperimentResult
+from repro.harness.results import ResultSet
 from repro.harness.runner import run_suite
 from repro.harness.suite import SweepSpec
+from repro.metrics.probes import DEFAULT_PROBES
 from repro.net.models import NetworkParams
 from repro.net.setups import SETUP_1, SETUP_2
 from repro.stack import layers
@@ -50,14 +53,18 @@ class SuiteOptions:
         cache_dir: Result cache directory (``None`` = default).
         use_cache: Serve previously computed points from disk.
         trace_mode: ``"full"`` safety-checks every point; ``"metrics"``
-            streams latency only (no per-event trace, no checks) —
-            markedly lighter on long full-resolution sweeps.
+            retains no per-event trace (no checks) — markedly lighter
+            on long full-resolution sweeps.  Probe output is identical
+            either way.
+        metrics: Metric-probe names measured at every point (``None``
+            = the registry defaults) — the CLI's ``--metrics`` flag.
     """
 
     processes: int | None = None
     cache_dir: Path | str | None = None
     use_cache: bool = True
     trace_mode: str = "full"
+    metrics: tuple[str, ...] | None = None
 
 
 _DEFAULT_OPTIONS = SuiteOptions()
@@ -78,12 +85,18 @@ class Series:
 
 @dataclass
 class FigureData:
-    """A reproduced figure: one or more panels of series."""
+    """A reproduced figure: one or more panels of series.
+
+    ``resultset`` carries every point of every panel as a columnar
+    :class:`~repro.harness.results.ResultSet` — the exportable surface
+    behind the plotted series (the CLI's ``--format csv/json``).
+    """
 
     fig_id: str
     title: str
     xlabel: str
     panels: dict[str, list[Series]] = field(default_factory=dict)
+    resultset: ResultSet | None = None
 
 
 # ----------------------------------------------------------------------
@@ -154,6 +167,7 @@ def _panel_sweep(
         warmup=0.1,
         drain=0.5 if quick else 1.0,
         trace_mode=options.trace_mode,
+        metrics=options.metrics or DEFAULT_PROBES,
     )
 
 
@@ -172,6 +186,12 @@ def _run_panels(
     specs = []
     slices: list[tuple[str, SweepSpec, str, slice]] = []
     for panel_name, sweep, x_axis in panels:
+        if "latency" not in sweep.metrics:
+            raise ConfigurationError(
+                f"panel {panel_name!r}: figures plot latency, so the "
+                "sweep's metrics axis must include the 'latency' probe "
+                f"(got {sweep.metrics!r})"
+            )
         expanded = sweep.experiments()
         slices.append(
             (panel_name, sweep, x_axis,
@@ -184,49 +204,40 @@ def _run_panels(
         cache_dir=options.cache_dir,
         use_cache=options.use_cache,
     )
+    assigned = 0
     for panel_name, sweep, x_axis, where in slices:
-        panel_specs = suite.specs[where]
-        panel_results = suite.results[where]
-        # Mirror SweepSpec.experiments() expansion order exactly: each
-        # (variant, fault set, topology) combo is one curve; seeds ×
-        # throughputs × payloads are its points.
-        series: dict[str, Series] = {}
-        cursor = 0
+        # Each (variant, fault set, topology) combo is one curve,
+        # selected off the panel's columnar ResultSet by the ``label``
+        # the sweep stamped on its points; seeds × throughputs ×
+        # payloads stay in expansion order within the curve.
+        panel_rs = ResultSet.from_results(suite.results[where])
+        series: list[Series] = []
         for label, _stack_spec in sweep.variants:
             for fault_label, _rules in sweep.fault_sets:
                 for topo_label, _topology in sweep.topologies:
                     curve_label = sweep.point_label(
                         label, fault_label, topo_label
                     )
-                    curve = series.setdefault(
-                        curve_label, Series(label=curve_label)
-                    )
-                    for _seed in sweep.seeds:
-                        for throughput in sweep.throughputs:
-                            for payload in sweep.payloads:
-                                spec = panel_specs[cursor]
-                                if (
-                                    spec.throughput != throughput
-                                    or spec.payload != payload
-                                ):
-                                    raise RuntimeError(
-                                        f"panel {panel_name!r}: result "
-                                        f"order diverged from the sweep "
-                                        f"grid at {spec.name!r}"
-                                    )
-                                x = (
-                                    payload
-                                    if x_axis == "payload"
-                                    else throughput
-                                )
-                                curve.add(x, panel_results[cursor])
-                                cursor += 1
-        if cursor != len(panel_results):
+                    curve_rs = panel_rs.where(label=curve_label)
+                    curve = Series(label=curve_label)
+                    for x, result in zip(
+                        curve_rs.column(x_axis), curve_rs.results
+                    ):
+                        curve.add(x, result)
+                    assigned += len(curve_rs)
+                    series.append(curve)
+        if sum(len(s.points) for s in series) != len(panel_rs):
             raise RuntimeError(
-                f"panel {panel_name!r}: {len(panel_results) - cursor} "
-                "suite points were not assigned to any curve"
+                f"panel {panel_name!r}: curve labels did not cover "
+                f"every suite point"
             )
-        fig.panels[panel_name] = list(series.values())
+        fig.panels[panel_name] = series
+    if assigned != len(suite.results):
+        raise RuntimeError(
+            f"{len(suite.results) - assigned} suite points were not "
+            "assigned to any panel"
+        )
+    fig.resultset = ResultSet.from_suite(suite)
     return fig
 
 

@@ -75,7 +75,9 @@ _R = TypeVar("_R")
 #: changes are covered automatically: the cache key folds in a content
 #: hash of the whole ``repro`` source tree, so any code edit invalidates
 #: old entries instead of serving stale figures.
-CACHE_VERSION = 1
+#: v2: results carry the generic ``metrics`` probe payload instead of
+#: fixed measurement fields; v1 entries are ignored (never mis-read).
+CACHE_VERSION = 2
 
 #: Default cache location; override per call or via ``REPRO_CACHE_DIR``.
 DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-sweeps"
@@ -112,7 +114,8 @@ def spec_key(spec: ExperimentSpec) -> str | None:
     """Stable content hash of a spec, or ``None`` if uncacheable.
 
     The hash covers every field that influences the simulation —
-    ``name`` is excluded, it is presentation only — plus
+    ``name`` and ``label`` are excluded, they are presentation only —
+    plus
     :data:`CACHE_VERSION` and the :func:`_code_fingerprint` of the
     installed ``repro`` sources.  Declarative fault rules and
     topologies are dataclasses of primitives, so fault scenarios hash
@@ -122,6 +125,7 @@ def spec_key(spec: ExperimentSpec) -> str | None:
     """
     data = dataclasses.asdict(spec)
     data.pop("name")
+    data.pop("label")
     try:
         blob = json.dumps(
             {
@@ -167,6 +171,12 @@ class ResultCache:
         try:
             with path.open("rb") as fh:
                 result: ExperimentResult = pickle.load(fh)
+            if not isinstance(result, ExperimentResult) or not isinstance(
+                getattr(result, "metrics", None), dict
+            ):
+                # A pre-probe (v1) or foreign pickle: ignore cleanly,
+                # never hand a mis-shaped object downstream.
+                return None
             return replace(result, spec=spec)
         except Exception:
             # Corrupt or stale entry (truncated write, a pickle
@@ -230,7 +240,10 @@ def parallel_map(
     if len(poolable) > 1:
         # Platform-default start method: fork is unsafe on macOS (and
         # from threaded processes generally), and spawn/forkserver work
-        # because everything shipped to workers is pickle-clean.
+        # because everything shipped to workers is pickle-clean.  One
+        # caveat: specs naming *custom* metric probes need those probes
+        # registered at import time of a module spawn workers re-import
+        # (see repro.metrics.probes on registration and multiprocessing).
         ctx = multiprocessing.get_context()
         with ctx.Pool(min(workers, len(poolable))) as pool:
             mapped = pool.map(
@@ -296,8 +309,19 @@ class SuiteResult:
         return {spec.name: result for spec, result in self.pairs()}
 
     def rows(self) -> list[dict]:
-        """Flat per-point summaries, ready for ``render_table``."""
+        """Flat per-point summaries, ready for ``render_table``.
+
+        The pre-``ResultSet`` table shape, kept for old consumers;
+        :meth:`result_set` is the full queryable surface.
+        """
         return [result.row() for result in self.results]
+
+    def result_set(self):
+        """The suite's results as a columnar
+        :class:`~repro.harness.results.ResultSet`."""
+        from repro.harness.results import ResultSet
+
+        return ResultSet.from_suite(self)
 
     def summary(self) -> str:
         """One line for progress output and CI logs."""

@@ -37,6 +37,7 @@ from typing import Iterable
 
 from repro.core.exceptions import ConfigurationError
 from repro.harness.experiment import ExperimentSpec
+from repro.metrics.probes import DEFAULT_PROBES, validate_probe_names
 from repro.net.faults import validate_fault_rules
 from repro.net.topology import Topology
 from repro.stack import layers
@@ -81,6 +82,10 @@ class SweepSpec:
         arrivals: ``"poisson"`` | ``"uniform"``.
         workload: Workload-registry name applied to every grid point:
             ``"symmetric"`` (open-loop) or ``"closed-loop"``.
+        metrics: Metric-probe names (see
+            :data:`repro.metrics.probes.PROBES`) measured at every grid
+            point; a registered custom probe sweeps end-to-end by being
+            named here.
         trace_mode: ``"full"`` (checkable event trace) or ``"metrics"``
             (streaming latency accumulators; cheap on long runs).
         safety_checks: Run the abcast safety checkers on each point.
@@ -101,6 +106,7 @@ class SweepSpec:
     drain: float = 0.5
     arrivals: str = "poisson"
     workload: str = "symmetric"
+    metrics: tuple[str, ...] = DEFAULT_PROBES
     trace_mode: str = "full"
     safety_checks: bool | None = None
     max_events: int = 50_000_000
@@ -120,6 +126,9 @@ class SweepSpec:
         ))
         for axis in ("throughputs", "payloads", "seeds"):
             object.__setattr__(self, axis, tuple(getattr(self, axis)))
+        object.__setattr__(
+            self, "metrics", validate_probe_names(self.metrics)
+        )
         if not self.variants:
             raise ConfigurationError("SweepSpec needs at least one variant")
         for axis in ("throughputs", "payloads", "seeds", "fault_sets",
@@ -218,6 +227,8 @@ class SweepSpec:
                                     drain=self.drain,
                                     arrivals=self.arrivals,
                                     workload=self.workload,
+                                    metrics=self.metrics,
+                                    label=point_label,
                                     safety_checks=checks,
                                     trace_mode=self.trace_mode,
                                     max_events=self.max_events,

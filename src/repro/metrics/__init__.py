@@ -1,12 +1,18 @@
-"""Metrics: the paper's latency measurement and summary statistics.
+"""Metrics: the paper's measurements as pluggable probes.
 
 "The performance metric for atomic broadcast is the latency, defined as
 the average (over all processes) of the elapsed time between
 abroadcasting a message m and adelivering m."  —  Section 4.2
 
-:mod:`repro.metrics.latency` computes exactly that from a trace, with
-warmup/cooldown trimming; :mod:`repro.metrics.stats` provides the
-summary statistics the harness reports.
+:mod:`repro.metrics.probes` is the measurement registry: every derived
+measurement (latency, traffic split, consensus work, FD suspicions,
+medium utilisation — and any custom probe registered in
+:data:`~repro.metrics.probes.PROBES`) is a streaming
+:class:`~repro.metrics.probes.Probe` producing one cache-stable
+:class:`~repro.metrics.probes.MetricValue` per run.
+:mod:`repro.metrics.latency` keeps the classic report object and the
+trace-based computations; :mod:`repro.metrics.stats` provides the
+summary statistics.
 """
 
 from repro.metrics.latency import (
@@ -14,10 +20,22 @@ from repro.metrics.latency import (
     measure_latency,
     report_from_metrics,
 )
+from repro.metrics.probes import (
+    DEFAULT_PROBES,
+    PROBES,
+    MetricValue,
+    Probe,
+    ProbeTap,
+)
 from repro.metrics.stats import SummaryStats, summarize
 
 __all__ = [
+    "DEFAULT_PROBES",
     "LatencyReport",
+    "MetricValue",
+    "PROBES",
+    "Probe",
+    "ProbeTap",
     "SummaryStats",
     "measure_latency",
     "report_from_metrics",

@@ -15,9 +15,10 @@ Components:
 * :class:`~repro.sim.process.SimProcess` — the per-process shell: crash
   state, timers, and the mount point for protocol layers.
 * :class:`~repro.sim.trace.TraceObserver` — the event-sink interface,
-  with two implementations: the full :class:`~repro.sim.trace.Trace`
-  consumed by the checkers, and the streaming
-  :class:`~repro.sim.trace.MetricsTrace` used by pure performance runs.
+  with the full :class:`~repro.sim.trace.Trace` consumed by the
+  checkers, the minimal :class:`~repro.sim.trace.CountingTrace` used by
+  probe-measured performance runs, and the streaming
+  :class:`~repro.sim.trace.MetricsTrace` latency accumulator.
 
 Determinism is a hard guarantee: two runs with identical configuration and
 seeds produce identical traces (asserted in ``tests/sim/test_determinism.py``).
@@ -27,9 +28,10 @@ from repro.sim.engine import Engine, EventHandle
 from repro.sim.process import SimProcess
 from repro.sim.resources import FifoResource
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import MetricsTrace, Trace, TraceObserver
+from repro.sim.trace import CountingTrace, MetricsTrace, Trace, TraceObserver
 
 __all__ = [
+    "CountingTrace",
     "Engine",
     "EventHandle",
     "FifoResource",

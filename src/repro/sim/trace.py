@@ -9,15 +9,21 @@ Every layer of every process emits
   (the properties of the paper are predicates over traces) and for
   post-hoc analysis; checkers and scenario tests require it.
 
-* :class:`MetricsTrace` — a streaming observer for pure performance
-  runs.  It folds matching ``ABroadcastEvent``/``ADeliverEvent`` pairs
-  into per-process latency accumulators *as they happen* and retains no
-  event list, so a long high-throughput sweep costs O(messages) memory
+* :class:`CountingTrace` — the cheap observer for pure performance
+  runs: it counts events and remembers crashes, nothing else.
+  Measurement belongs to the metric probes
+  (:mod:`repro.metrics.probes`), which observe the same event stream
+  through the :class:`~repro.metrics.probes.ProbeTap` in *both* trace
+  modes — so a long high-throughput sweep costs O(messages) memory
   instead of O(events) (each message generates O(n²) protocol events
-  below it).
+  below it) without a second measurement code path.
 
-``build_system`` accepts either; ``run_experiment`` picks one from the
-experiment's ``trace_mode``.
+* :class:`MetricsTrace` — the streaming latency accumulator; the
+  latency probe wraps one per run, and scripts may still use it
+  directly.
+
+``build_system`` accepts any of them; ``run_experiment`` picks the
+retention policy from the experiment's ``trace_mode``.
 """
 
 from __future__ import annotations
@@ -185,6 +191,38 @@ class Trace(TraceObserver):
         return len(self.events)
 
 
+class CountingTrace(TraceObserver):
+    """Retains nothing but an event count and the crash record.
+
+    The trace for probe-measured performance runs
+    (``trace_mode="metrics"``): all measurement happens in the metric
+    probes fed by the same :class:`~repro.metrics.probes.ProbeTap`, so
+    the trace itself only has to answer the introspection queries that
+    survive a run (who crashed, how many events flowed).
+    """
+
+    def __init__(self) -> None:
+        #: Total events observed (diagnostics; nothing is retained).
+        self.events_seen = 0
+        self._crashes: dict[ProcessId, CrashEvent] = {}
+
+    def record(self, event: ProtocolEvent) -> None:
+        self.events_seen += 1
+        if isinstance(event, CrashEvent):
+            self._crashes[event.process] = event
+
+    def crashes(self) -> dict[ProcessId, CrashEvent]:
+        return dict(self._crashes)
+
+    def instances(self) -> list[int]:
+        """Decided instances are not retained here; ask the consensus
+        probe (``metrics["consensus"]["instances_decided"]``)."""
+        return []
+
+    def __len__(self) -> int:
+        return self.events_seen
+
+
 class MetricsTrace(TraceObserver):
     """Streaming latency accumulator — the trace for performance runs.
 
@@ -198,8 +236,11 @@ class MetricsTrace(TraceObserver):
     The window is fixed at construction because filtering must happen
     at record time: ``warmup``/``cutoff`` have the same meaning as in
     :func:`repro.metrics.latency.measure_latency`.  The resulting
-    numbers match a full :class:`Trace` measured with the same window
-    (asserted in ``tests/harness/test_runner.py``).
+    numbers match a full :class:`Trace` measured with the same window.
+    ``run_experiment`` measures through the latency probe — which wraps
+    one of these accumulators — in both trace modes; the
+    full-vs-streaming agreement is asserted per probe in
+    ``tests/harness/test_probe_agreement.py``.
     """
 
     def __init__(self, warmup: float = 0.0, cutoff: float | None = None) -> None:

@@ -33,3 +33,52 @@ class TestCli:
         assert "fig1" in out
         assert "Indirect consensus" in out
         assert "done in" in out
+
+    def test_format_csv_exports_the_resultset(self, capsys):
+        assert main([
+            "--figure", "1", "--metrics", "latency,traffic",
+            "--format", "csv",
+        ]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        header = lines[0].split(",")
+        assert "latency.mean_ms" in header
+        assert "traffic.frames_total" in header
+        # fig1: 2 panels x 2 variants x 3 payloads = 12 points.
+        assert len(lines) == 13
+        # The restricted probe set measured nothing else.
+        assert not any(column.startswith("fd.") for column in header)
+
+    def test_format_json_exports_row_objects(self, capsys):
+        import json
+
+        assert main([
+            "--figure", "1", "--metrics", "latency", "--format", "json",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 12
+        assert {"name", "label", "throughput", "payload",
+                "latency.mean_ms"} <= set(rows[0])
+
+    def test_unknown_metric_probe_rejected_with_suggestion(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--figure", "1", "--metrics", "latancy"])
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_metrics_without_latency_rejected_upfront(self, capsys):
+        # Figures plot latency; a probe set that omits it must fail at
+        # argument parsing, not with a KeyError mid-sweep.
+        with pytest.raises(SystemExit):
+            main(["--figure", "1", "--metrics", "traffic"])
+        assert "must include 'latency'" in capsys.readouterr().err
+
+    def test_figure2_honours_the_format_flag(self, capsys):
+        import json
+
+        assert main(["--figure", "2", "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("n,")
+        assert len(lines) == 12  # header + n=2..12
+        assert main(["--figure", "2", "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["n"] == 2

@@ -1,0 +1,89 @@
+"""Full-trace vs metrics-mode probe agreement (the acceptance test).
+
+Both trace modes feed the *same* probe set through the
+:class:`~repro.metrics.probes.ProbeTap`, so every built-in probe must
+report **bit-identical** values whether the run retained a checkable
+event trace (``trace_mode="full"``) or nothing at all
+(``trace_mode="metrics"``).  Asserted on the four stacks of the paper's
+evaluation.
+"""
+
+import pytest
+
+from repro.harness.experiment import ExperimentSpec, run_experiment
+from repro.metrics.probes import DEFAULT_PROBES
+from repro.net.setups import SETUP_1, SETUP_2
+from repro.stack.builder import StackSpec
+
+#: The four golden stacks of the evaluation (Figures 1-7).
+GOLDEN_STACKS = {
+    "indirect": dict(abcast="indirect", consensus="ct-indirect",
+                     rb="sender", params=SETUP_1),
+    "on-messages": dict(abcast="on-messages", consensus="ct",
+                        rb="sender", params=SETUP_1),
+    "faulty-ids": dict(abcast="faulty-ids", consensus="ct",
+                       rb="sender", params=SETUP_1),
+    "urb-ids": dict(abcast="urb-ids", consensus="ct",
+                    rb="flood", params=SETUP_2),
+}
+
+
+def run_pair(stack_kwargs):
+    base = dict(
+        stack=StackSpec(n=3, seed=5, **stack_kwargs),
+        throughput=200.0,
+        payload=64,
+        duration=0.3,
+        warmup=0.05,
+        drain=0.5,
+    )
+    full = run_experiment(ExperimentSpec(name="full", **base))
+    metrics = run_experiment(ExperimentSpec(
+        name="metrics", trace_mode="metrics", safety_checks=False, **base
+    ))
+    return full, metrics
+
+
+class TestProbeAgreement:
+    @pytest.mark.parametrize("stack_name", sorted(GOLDEN_STACKS))
+    def test_every_builtin_probe_is_bit_identical_across_modes(
+        self, stack_name
+    ):
+        full, metrics = run_pair(GOLDEN_STACKS[stack_name])
+        assert set(full.metrics) == set(DEFAULT_PROBES)
+        for probe in DEFAULT_PROBES:
+            # MetricValue equality covers every field and every sample
+            # vector — bit-identical, not approximately equal.
+            assert full.metrics[probe] == metrics.metrics[probe], probe
+
+    @pytest.mark.parametrize("stack_name", sorted(GOLDEN_STACKS))
+    def test_run_accounting_agrees_across_modes(self, stack_name):
+        full, metrics = run_pair(GOLDEN_STACKS[stack_name])
+        assert full.sent == metrics.sent
+        assert full.undelivered == metrics.undelivered
+        assert full.simulated_seconds == metrics.simulated_seconds
+        assert full.diagnostics["events"] == metrics.diagnostics["events"]
+
+    def test_figure_assembly_rejects_latency_less_probe_sets(self):
+        from repro.core.exceptions import ConfigurationError
+        from repro.harness.figures import FigureData, _run_panels, _panel_sweep, SuiteOptions
+        from repro.net.setups import SETUP_1
+
+        sweep = _panel_sweep(
+            "p", ["Indirect consensus"], 3, SETUP_1, [200.0], [1],
+            quick=True, options=SuiteOptions(metrics=("traffic",)),
+        )
+        fig = FigureData(fig_id="x", title="t", xlabel="b")
+        with pytest.raises(ConfigurationError, match="latency"):
+            _run_panels(fig, [("p", sweep, "payload")],
+                        SuiteOptions(metrics=("traffic",)))
+
+    def test_compat_shims_derive_from_the_same_values(self):
+        full, metrics = run_pair(GOLDEN_STACKS["indirect"])
+        assert full.mean_latency_ms == metrics.mean_latency_ms
+        assert full.latency == metrics.latency
+        assert full.frames_total == metrics.frames_total
+        assert full.data_bytes == metrics.data_bytes
+        assert full.control_bytes == metrics.control_bytes
+        assert full.instances_decided == metrics.instances_decided
+        assert full.row() == {**metrics.row(), "name": "full"}

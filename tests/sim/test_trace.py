@@ -10,7 +10,7 @@ from repro.core.events import (
 )
 from repro.core.identifiers import MessageId
 from repro.core.message import AppMessage, make_payload
-from repro.sim.trace import MetricsTrace, Trace, TraceObserver
+from repro.sim.trace import CountingTrace, MetricsTrace, Trace, TraceObserver
 
 
 def msg(origin, seq):
@@ -76,6 +76,29 @@ class TestHoldersAt:
         trace = Trace()
         trace.record(RDeliverEvent(time=0.1, process=4, message=msg(1, 1)))
         assert trace.holders_at(frozenset(), 0.0) == {4}
+
+
+class TestCountingTrace:
+    """The probe-era performance trace: counts and crashes only."""
+
+    def test_is_a_trace_observer(self):
+        assert isinstance(CountingTrace(), TraceObserver)
+
+    def test_counts_without_retaining(self):
+        trace = CountingTrace()
+        for i in range(100):
+            trace.record(
+                RDeliverEvent(time=i * 1e-3, process=1, message=msg(1, i))
+            )
+        assert len(trace) == 100
+        assert not hasattr(trace, "events")
+
+    def test_tracks_crashes_for_correctness_queries(self):
+        trace = CountingTrace()
+        trace.record(CrashEvent(time=0.5, process=2))
+        assert trace.crashes()[2].time == 0.5
+        assert trace.correct_processes((1, 2, 3)) == {1, 3}
+        assert trace.instances() == []
 
 
 class TestMetricsTrace:
