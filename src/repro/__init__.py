@@ -31,6 +31,13 @@ See ``examples/quickstart.py`` for the guided version.
 """
 
 from repro.checkers import check_abcast, check_broadcast, check_consensus
+from repro.explore import (
+    ExploreSpec,
+    explore,
+    explore_spec,
+    registry_explore_specs,
+    replay,
+)
 from repro.core import (
     AppMessage,
     MessageId,
@@ -52,7 +59,7 @@ from repro.net.topology import Topology
 from repro.stack import StackSpec, System, build_system
 from repro.workload import ClosedLoopWorkload, SymmetricWorkload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AppMessage",
@@ -60,6 +67,7 @@ __all__ = [
     "CrashSchedule",
     "DelayRule",
     "DuplicationRule",
+    "ExploreSpec",
     "LossRule",
     "MessageId",
     "MetricValue",
@@ -79,6 +87,10 @@ __all__ = [
     "check_abcast",
     "check_broadcast",
     "check_consensus",
+    "explore",
+    "explore_spec",
     "make_payload",
     "measure_latency",
+    "registry_explore_specs",
+    "replay",
 ]

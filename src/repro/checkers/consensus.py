@@ -86,11 +86,27 @@ class ConsensusChecker:
             )
 
     def check_v_stability(self, instance: int) -> None:
-        """``f + 1`` live processes held ``msgs(v)`` at first decision time."""
+        """``f + 1`` distinct processes had received ``msgs(v)`` by the
+        first decision time.
+
+        Crashed-since holders count (``include_crashed=True``): the
+        algorithm can only guarantee that the ``⌈(n+1)/2⌉ ≥ f + 1``
+        ackers behind a decision each held ``msgs(v)`` *when they
+        acked*; a holder may legitimately crash between its ack and the
+        decision landing, and no protocol can retroactively prevent
+        that.  Stability still follows — at most ``f`` of the ``f + 1``
+        holders ever crash, so one of them is correct, which is exactly
+        what :meth:`check_no_loss` asserts with live-holder semantics.
+        (Requiring ``f + 1`` *live* holders at decision time would
+        double-count a crash: once against the holder set and once
+        against the ``f`` budget.)
+        """
         first = self.trace.first_decision(instance)
         if first is None:
             return
-        holders = self.trace.holders_at(first.value, first.time)
+        holders = self.trace.holders_at(
+            first.value, first.time, include_crashed=True
+        )
         needed = self.config.stability_threshold()
         if len(holders) < needed:
             raise ProtocolViolationError(

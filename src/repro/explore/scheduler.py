@@ -1,0 +1,422 @@
+"""The exploring scheduler: decisions, menus and state fingerprints.
+
+One *schedule* is described as a sparse list of :class:`Deviation`\\ s
+from the engine's default ``(time, seq)`` order: at decision step ``N``
+(the ``N``-th time the controlled run loop consults the scheduler),
+fire a non-head ready event (``f``), defer a ready frame delivery until
+the rest of the run drains (``d``), or crash a process (``c``).  Steps
+with no deviation take the default, so the empty schedule replays the
+uncontrolled engine bit for bit and a repro string like
+``"4:d1,5:d1,23:c2"`` fully determines a run.
+
+While it plays a schedule the scheduler records, per step, the *menu*
+of alternatives that were available — how many events were tied, which
+were deferrable, who could crash — plus a fingerprint of the
+simulation state.  Search strategies expand new schedules from these
+menus; the fingerprints let them skip decision prefixes that converged
+to a state some earlier schedule already explored with an equal or
+larger remaining budget (symmetric interleavings of independent
+deliveries are the common case).
+
+Deviation vocabulary and canonical form:
+
+* ``f<i>`` — fire ``ready[i]`` instead of ``ready[0]``: reorders
+  same-time ties, the delivery interleaving nondeterminism.
+* ``d<i>`` — defer ``ready[i]`` (hold it back ``defer_delay`` seconds,
+  or until the run drains); only **frame deliveries** are deferrable
+  (by default only data frames — control traffic is small and fast on
+  a real LAN, bulk data is what crawls), and only at the step where
+  the frame *first* appears in a ready set.  Deferring later would
+  reach the same states through a longer prefix, so the canonical
+  form keeps the search space free of that redundancy.
+* ``c<pid>`` — crash ``pid`` before anything at this step fires.  A
+  crash is allowed while the crash budget lasts, and only at step 0 or
+  right after an event *involving* ``pid`` (its own timer or resource
+  grant, a frame it sent or received): between two events that do not
+  involve ``pid``, crashing it now or earlier is indistinguishable, so
+  those placements are canonicalised away too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from repro.core.exceptions import ConfigurationError
+from repro.net.frame import Frame
+from repro.sim.engine import AGAIN, DEFER, FIRE, Scheduler, _EventRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.stack.builder import System
+
+
+# ----------------------------------------------------------------------
+# Deviations and repro strings
+# ----------------------------------------------------------------------
+
+_OPS = ("f", "d", "c")
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Deviation:
+    """One departure from the default schedule at decision step ``step``.
+
+    ``op`` is ``"f"`` (fire ready[arg]), ``"d"`` (defer ready[arg]) or
+    ``"c"`` (crash process ``arg``).
+    """
+
+    step: int
+    op: str
+    arg: int
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ConfigurationError(
+                f"unknown deviation op {self.op!r}; choose from {_OPS}"
+            )
+        if self.step < 0 or self.arg < 0:
+            raise ConfigurationError(
+                f"deviation step/arg must be >= 0, got {self!r}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.step}:{self.op}{self.arg}"
+
+
+def format_deviations(deviations: Iterable[Deviation]) -> str:
+    """The repro string of a schedule: ``"4:d1,5:d1,23:c2"``."""
+    return ",".join(str(d) for d in sorted(deviations))
+
+
+def parse_deviations(text: str) -> tuple[Deviation, ...]:
+    """Parse a repro string back into a deviation tuple."""
+    text = text.strip()
+    if not text:
+        return ()
+    deviations = []
+    for part in text.split(","):
+        part = part.strip()
+        try:
+            step_text, action = part.split(":")
+            deviations.append(
+                Deviation(int(step_text), action[0], int(action[1:]))
+            )
+        except (ValueError, IndexError):
+            raise ConfigurationError(
+                f"malformed deviation {part!r} (expected STEP:f<i>|d<i>|c<pid>)"
+            ) from None
+    steps = [d.step for d in deviations]
+    if len(set(steps)) != len(steps):
+        # One decision per step: a duplicate would be silently shadowed
+        # at replay time, making the string lie about the schedule.
+        raise ConfigurationError(
+            f"repro string schedules two deviations at the same step: {text!r}"
+        )
+    return tuple(sorted(deviations))
+
+
+# ----------------------------------------------------------------------
+# Menus
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Menu:
+    """The alternatives available at one decision step of one run."""
+
+    step: int
+    ready: int
+    deferrable: tuple[int, ...]
+    crashable: tuple[int, ...]
+    fingerprint: str | None
+
+    def alternatives(self) -> int:
+        """Number of non-default decisions available here."""
+        return (self.ready - 1) + len(self.deferrable) + len(self.crashable)
+
+
+# ----------------------------------------------------------------------
+# State fingerprints
+# ----------------------------------------------------------------------
+
+
+def _describe_value(value: Any) -> Any:
+    """Canonical, schedule-invariant description of a payload value.
+
+    ``Frame.seq`` is deliberately excluded (it is a global diagnostic
+    counter: two frames carrying the same protocol content in two
+    different interleavings must describe identically), and unordered
+    collections are sorted.
+    """
+    if isinstance(value, Frame):
+        return (
+            "frame",
+            value.src,
+            value.dst,
+            value.kind,
+            bool(value.control),
+            value.size,
+            _describe_value(value.body),
+        )
+    if isinstance(value, (frozenset, set)):
+        return ("set",) + tuple(
+            sorted((repr(_describe_value(v)) for v in value))
+        )
+    if isinstance(value, (tuple, list)):
+        return tuple(_describe_value(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(
+            (repr(_describe_value(k)), _describe_value(v))
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        )
+    if value is None or isinstance(value, (int, float, str, bool, bytes)):
+        return value
+    # Frozen dataclasses (MessageId, AppMessage, Payload, rules...) have
+    # deterministic reprs; anything else falls back to its type name so
+    # the fingerprint never embeds an ``object.__repr__`` address.
+    if hasattr(value, "__dataclass_fields__"):
+        return repr(value)
+    return type(value).__qualname__
+
+
+def _describe_callable(fn: Any) -> str:
+    name = getattr(fn, "__qualname__", None) or type(fn).__qualname__
+    owner = getattr(fn, "__self__", None)
+    pid = getattr(owner, "pid", None)
+    if pid is None and owner is not None:
+        process = getattr(owner, "process", None)
+        pid = getattr(process, "pid", None)
+    return f"{name}@p{pid}" if pid is not None else name
+
+
+def describe_record(record: _EventRecord, blocked: bool = False) -> tuple:
+    """Canonical description of one pending event (for fingerprints)."""
+    fn, args = record.fn, record.args
+    # Unwrap SimProcess._guarded(fn, args) so timer descriptions name
+    # the protocol callback, not the guard.
+    if _describe_callable(fn).startswith("SimProcess._guarded") and len(args) == 2:
+        fn, args = args[0], args[1]
+    return (
+        "blocked" if blocked else repr(record.time),
+        _describe_callable(fn),
+        _describe_value(tuple(args)),
+        _describe_value(record.info),
+    )
+
+
+def fingerprint_state(
+    system: "System", ready: Iterable[_EventRecord] = ()
+) -> str:
+    """Hash of the simulation's scheduler-visible state.
+
+    Covers the live pending-event set (heap, the current ready set —
+    which the controlled loop holds off-heap while it consults the
+    scheduler — and deferred events, canonically described and
+    order-insensitively sorted), the crash record, and every process's
+    adelivery sequence.  Protocol layers hold internal state (round
+    numbers, ack counters, received stores) the fingerprint cannot
+    see, so matching fingerprints do **not** guarantee identical
+    futures: pruning on them is a *symmetry heuristic* aimed at
+    reorderings of independent events — which do converge to genuinely
+    identical global states — and may in principle also collapse
+    prefixes that differ only in hidden layer state, under-exploring
+    the space.  An ``exhausted`` search result is therefore
+    "exhausted modulo fingerprint equivalence", not a proof; disable
+    ``ExploreSpec.prune`` for the strictly-complete (and much slower)
+    enumeration.
+    """
+    engine = system.engine
+    pending = sorted(
+        [
+            repr(describe_record(record))
+            for _, _, record in engine._heap
+            if not record.cancelled
+        ]
+        + [
+            repr(describe_record(record))
+            for record in ready
+            if not record.cancelled
+        ]
+    )
+    blocked = [
+        repr(describe_record(record, blocked=True))
+        for record in engine._blocked
+        if not record.cancelled
+    ]
+    crashed = sorted(
+        pid for pid, p in system.processes.items() if p.crashed
+    )
+    delivered = [
+        (pid, tuple(map(repr, system.trace.adelivery_sequence(pid))))
+        for pid in sorted(system.processes)
+    ]
+    blob = repr((pending, blocked, crashed, delivered))
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+
+
+class ExploreScheduler(Scheduler):
+    """Plays a deviation schedule and records the menus it passed by.
+
+    Args:
+        system: The system under exploration (crash deviations need the
+            processes; fingerprints need trace and engine).
+        deviations: Sparse schedule, keyed by decision step.
+        max_crashes: Crash budget for ``c`` deviations.
+        defer_data_only: Restrict ``d`` deviations to non-control
+            frames (the Section 2.2 style of adversity).  ``False``
+            widens deferral to every frame delivery.
+        defer_delay: Passed through to the engine (see
+            :class:`repro.sim.engine.Scheduler.defer_delay`): how long
+            a deferred frame is held back.
+        fingerprints: Record a state fingerprint per menu (strategies
+            need them for pruning; replay can skip the cost).
+
+    A deviation that does not apply at its step — index beyond the
+    ready set, pid not crashable, defer of a non-deferrable event — is
+    *skipped* (the default decision is taken) and counted in
+    ``skipped``; lenient replay is what lets the shrinker drop earlier
+    deviations without invalidating later ones wholesale.
+    """
+
+    def __init__(
+        self,
+        system: "System",
+        deviations: Mapping[int, Deviation] | Iterable[Deviation] = (),
+        *,
+        max_crashes: int = 0,
+        defer_data_only: bool = True,
+        defer_delay: float | None = 5e-3,
+        fingerprints: bool = True,
+    ) -> None:
+        if not isinstance(deviations, Mapping):
+            listed = tuple(deviations)
+            deviations = {d.step: d for d in listed}
+            if len(deviations) != len(listed):
+                raise ConfigurationError(
+                    f"schedule has two deviations at one step: {listed}"
+                )
+        self.system = system
+        self.deviations = dict(deviations)
+        self.max_crashes = max_crashes
+        self.defer_data_only = defer_data_only
+        self.defer_delay = defer_delay
+        self.fingerprints = fingerprints
+        #: Per-step menus, in step order.
+        self.menus: list[Menu] = []
+        #: Deviations actually applied (same objects as scheduled).
+        self.applied: list[Deviation] = []
+        #: Scheduled deviations that could not be applied at their step.
+        self.skipped: list[Deviation] = []
+        self.steps = 0
+        self.crashes_done = 0
+        # Strong references, not id()s: a fired record could be freed
+        # and its address reused by a later frame's record, which would
+        # silently (and non-deterministically across processes) eat
+        # that frame's deferrability.
+        self._seen_frames: set[_EventRecord] = set()
+        # Which processes the previously fired event involved (crash
+        # placement gate); at step 0 every alive process qualifies.
+        self._crash_context: frozenset[int] | None = None
+
+    # -- involvement ---------------------------------------------------
+
+    @staticmethod
+    def _pids_of(record: _EventRecord) -> frozenset[int]:
+        info = record.info
+        if isinstance(info, Frame):
+            return frozenset((info.src, info.dst))
+        if isinstance(info, tuple) and len(info) == 2 and info[0] in (
+            "timer", "crash"
+        ):
+            return frozenset((info[1],))
+        if isinstance(info, tuple) and len(info) == 2 and info[0] == "resource":
+            name = info[1]
+            if name.startswith("cpu.p"):
+                try:
+                    return frozenset((int(name[5:]),))
+                except ValueError:  # pragma: no cover - defensive
+                    return frozenset()
+        return frozenset()
+
+    def _deferrable(self, ready: list[_EventRecord]) -> tuple[int, ...]:
+        indices = []
+        for i, record in enumerate(ready):
+            frame = record.info
+            if not isinstance(frame, Frame):
+                continue
+            if self.defer_data_only and frame.control:
+                continue
+            if record in self._seen_frames:
+                # Canonical form: a frame stops being deferrable once a
+                # protocol event has *fired* while it was ready —
+                # deferring it later reaches the same states through a
+                # longer prefix.  Defers and crashes at the same tie
+                # group do not consume deferrability, so chained defers
+                # ("hold back both copies of m") stay expressible.
+                continue
+            indices.append(i)
+        return tuple(indices)
+
+    def _crashable(self) -> tuple[int, ...]:
+        if self.crashes_done >= self.max_crashes:
+            return ()
+        alive = [
+            pid for pid, p in sorted(self.system.processes.items())
+            if not p.crashed
+        ]
+        if self._crash_context is None:
+            return tuple(alive)
+        return tuple(p for p in alive if p in self._crash_context)
+
+    # -- the seam ------------------------------------------------------
+
+    def decide(self, now: float, ready: list[_EventRecord]) -> tuple[str, int]:
+        step = self.steps
+        self.steps += 1
+        deferrable = self._deferrable(ready)
+        crashable = self._crashable()
+        self.menus.append(Menu(
+            step=step,
+            ready=len(ready),
+            deferrable=deferrable,
+            crashable=crashable,
+            fingerprint=(
+                fingerprint_state(self.system, ready)
+                if self.fingerprints
+                else None
+            ),
+        ))
+
+        deviation = self.deviations.get(step)
+        decision: tuple[str, int] = (FIRE, 0)
+        if deviation is not None:
+            if deviation.op == "f" and 0 < deviation.arg < len(ready):
+                decision = (FIRE, deviation.arg)
+            elif deviation.op == "d" and deviation.arg in deferrable:
+                decision = (DEFER, deviation.arg)
+            elif deviation.op == "c" and deviation.arg in crashable:
+                self.system.processes[deviation.arg].crash()
+                self.crashes_done += 1
+                decision = (AGAIN, 0)
+            else:
+                self.skipped.append(deviation)
+                deviation = None
+            if deviation is not None:
+                self.applied.append(deviation)
+
+        if decision[0] == FIRE:
+            # Only a fired event advances protocol state: it both
+            # consumes the ready frames' deferrability (canonical
+            # first-appearance form) and resets the crash-placement
+            # context.  Defers and crashes leave the tie group open.
+            for record in ready:
+                if isinstance(record.info, Frame):
+                    self._seen_frames.add(record)
+            self._crash_context = self._pids_of(ready[decision[1]])
+        return decision

@@ -1,0 +1,258 @@
+"""Search strategies over the deviation-schedule space.
+
+All strategies are *stateless-search* drivers: they never checkpoint a
+simulation, they re-execute schedules from scratch (the engine is
+deterministic, so a schedule is its decision list).  A schedule is a
+sparse deviation tuple; the search tree's children of a schedule are
+the schedules that add one deviation at a step *after* its last one,
+taken from the menus the parent's execution recorded — every deviation
+set is therefore enumerated exactly once, in sorted-step canonical
+order.
+
+Registered strategies (``STRATEGIES``, a
+:class:`~repro.stack.registry.LayerRegistry` like every other pluggable
+family):
+
+* ``delay-bounded`` — breadth-first over deviation count: all
+  0-deviation schedules, then 1, then 2, ...  This is delay-bounded
+  search in the Emmi/Qadeer/Rakamarić sense with the deviation budget
+  as the bound; bugs reachable with few deviations (the Section 2.2
+  violation needs three: defer both copies of the data, crash the
+  sender) surface before the combinatorial tail.
+* ``dfs`` — depth-first over the same tree: cheapest frontier memory,
+  finds deep deviation stacks first; the exhaustive option within its
+  budgets.
+* ``random-walk`` — the seeded fallback for spaces too large to
+  enumerate: each schedule samples deviations uniformly from the menus
+  of the previous run.
+
+Tree strategies prune on state fingerprints: a prefix whose fingerprint
+an earlier schedule reached with an equal-or-larger remaining deviation
+budget is not expanded again (symmetric interleavings of independent
+events all converge to the same fingerprint).  Children are generated
+defers first, then crashes, then tie reorders — message loss through
+crash-with-in-flight-data is the historically productive direction, so
+it gets the head of the queue.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.explore.executor import RunRecord, ScheduleExecutor, Violation
+from repro.explore.scheduler import Deviation, Menu
+from repro.stack.registry import LayerRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.explore.executor import ExploreSpec
+
+Schedule = tuple[Deviation, ...]
+
+STRATEGIES = LayerRegistry("strategy")
+
+
+@dataclass
+class SearchResult:
+    """What one strategy run (or one pool shard of it) produced."""
+
+    violations: list[Violation] = field(default_factory=list)
+    schedules: int = 0
+    pruned: int = 0
+    exhausted: bool = False
+
+    def merge(self, other: "SearchResult") -> None:
+        self.violations.extend(other.violations)
+        self.schedules += other.schedules
+        self.pruned += other.pruned
+        self.exhausted = self.exhausted and other.exhausted
+
+
+def children_of(
+    schedule: Schedule,
+    record: RunRecord,
+    spec: "ExploreSpec",
+    visited: dict[str, int] | None = None,
+    result: SearchResult | None = None,
+) -> list[Schedule]:
+    """Expand one executed schedule into its canonical children.
+
+    New deviations are placed at steps strictly after the schedule's
+    last one.  When ``visited`` is given, expansion stops at the first
+    step whose state fingerprint was already expanded with at least the
+    same remaining budget (the rest of this run's suffix tree is a
+    duplicate); ``result.pruned`` counts the cut-offs.
+    """
+    remaining = spec.max_deviations - len(schedule)
+    if remaining <= 0:
+        return []
+    start = schedule[-1].step + 1 if schedule else 0
+    children: list[Schedule] = []
+    for menu in record.menus:
+        if menu.step < start:
+            continue
+        if visited is not None and menu.fingerprint is not None:
+            seen = visited.get(menu.fingerprint, -1)
+            if seen >= remaining:
+                if result is not None:
+                    result.pruned += 1
+                break
+            visited[menu.fingerprint] = remaining
+        for index in menu.deferrable:
+            children.append(schedule + (Deviation(menu.step, "d", index),))
+        for pid in menu.crashable:
+            children.append(schedule + (Deviation(menu.step, "c", pid),))
+        for index in range(1, menu.ready):
+            children.append(schedule + (Deviation(menu.step, "f", index),))
+    return children
+
+
+def _tree_search(
+    executor: ScheduleExecutor,
+    spec: "ExploreSpec",
+    initial: Iterable[Schedule] | None,
+    *,
+    depth_first: bool,
+    budget: int | None = None,
+) -> SearchResult:
+    result = SearchResult()
+    frontier: deque[Schedule] = deque(
+        [()] if initial is None else list(initial)
+    )
+    visited: dict[str, int] | None = {} if spec.prune else None
+    budget = spec.budget if budget is None else budget
+    while frontier and result.schedules < budget:
+        schedule = frontier.pop() if depth_first else frontier.popleft()
+        record = executor.run(schedule)
+        result.schedules += 1
+        if record.violation is not None:
+            result.violations.append(record.violation)
+            if spec.stop_after and len(result.violations) >= spec.stop_after:
+                return result
+            continue  # a violating run's checkers stopped early: don't expand
+        if record.diverged:
+            continue  # runaway schedule: menus are truncated, don't expand
+        children = children_of(schedule, record, spec, visited, result)
+        if depth_first:
+            frontier.extend(reversed(children))
+        else:
+            frontier.extend(children)
+    result.exhausted = not frontier
+    return result
+
+
+def _delay_bounded(
+    executor: ScheduleExecutor,
+    spec: "ExploreSpec",
+    initial: Iterable[Schedule] | None = None,
+    budget: int | None = None,
+    shard: int = 0,
+) -> SearchResult:
+    return _tree_search(
+        executor, spec, initial, depth_first=False, budget=budget
+    )
+
+
+def _dfs(
+    executor: ScheduleExecutor,
+    spec: "ExploreSpec",
+    initial: Iterable[Schedule] | None = None,
+    budget: int | None = None,
+    shard: int = 0,
+) -> SearchResult:
+    return _tree_search(
+        executor, spec, initial, depth_first=True, budget=budget
+    )
+
+
+def _random_walk(
+    executor: ScheduleExecutor,
+    spec: "ExploreSpec",
+    initial: Iterable[Schedule] | None = None,
+    budget: int | None = None,
+    shard: int = 0,
+) -> SearchResult:
+    """Sample schedules from the previous run's menus (seeded)."""
+    from repro.sim.rng import RngRegistry
+
+    rng: random.Random = RngRegistry(seed=spec.seed).stream(
+        f"explore.random-walk.{shard}"
+    )
+    result = SearchResult()
+    budget = spec.budget if budget is None else budget
+
+    def note(record: RunRecord) -> bool:
+        result.schedules += 1
+        if record.violation is not None:
+            result.violations.append(record.violation)
+            return bool(
+                spec.stop_after
+                and len(result.violations) >= spec.stop_after
+            )
+        return False
+
+    base = executor.run((), fingerprints=False)
+    if note(base) or spec.max_deviations < 1:
+        # With a zero depth bound the default schedule is the only
+        # in-bound one; repeating it would burn budget for nothing.
+        return result
+    menus: tuple[Menu, ...] = base.menus
+    while result.schedules < budget:
+        deviations: list[Deviation] = []
+        if menus:
+            count = rng.randint(1, spec.max_deviations)
+            steps = sorted(
+                rng.sample(range(len(menus)), min(count, len(menus)))
+            )
+            for step in steps:
+                menu = menus[step]
+                # Over-budget crash picks are skipped leniently by the
+                # executing scheduler, so no bookkeeping is needed here.
+                options: list[Deviation] = [
+                    Deviation(menu.step, "d", i) for i in menu.deferrable
+                ] + [
+                    Deviation(menu.step, "c", pid) for pid in menu.crashable
+                ] + [
+                    Deviation(menu.step, "f", i) for i in range(1, menu.ready)
+                ]
+                if not options:
+                    continue
+                deviations.append(options[rng.randrange(len(options))])
+        record = executor.run(tuple(deviations), fingerprints=False)
+        if note(record):
+            return result
+        if record.menus and not record.diverged:
+            menus = record.menus
+    return result
+
+
+STRATEGIES.register(
+    "delay-bounded",
+    "breadth-first by deviation count (few-deviation bugs surface first)",
+    factory=_delay_bounded,
+)
+STRATEGIES.register(
+    "dfs",
+    "depth-first over the deviation tree (exhaustive within its budgets)",
+    factory=_dfs,
+)
+STRATEGIES.register(
+    "random-walk",
+    "seeded random deviation sampling (fallback for huge spaces)",
+    factory=_random_walk,
+)
+
+
+def run_strategy(
+    spec: "ExploreSpec",
+    initial: Iterable[Schedule] | None = None,
+    budget: int | None = None,
+    shard: int = 0,
+) -> SearchResult:
+    """Run ``spec.strategy`` (resolved through :data:`STRATEGIES`)."""
+    factory = STRATEGIES.get(spec.strategy).factory
+    return factory(
+        ScheduleExecutor(spec), spec, initial, budget=budget, shard=shard
+    )

@@ -74,4 +74,4 @@ class CrashSchedule:
         """Arm the schedule on ``engine``."""
         for pid, time in self.crashes:
             process = processes[pid]
-            engine.schedule_at(time, process.crash)
+            engine.schedule_at(time, process.crash).annotate(("crash", pid))

@@ -11,6 +11,14 @@ Usage::
     python -m repro.harness --figure 3 --metrics latency,traffic
     python -m repro.harness --list-variants       # the layer registry
 
+The ``explore`` verb runs bounded systematic schedule exploration
+(:mod:`repro.explore`) instead of performance sweeps::
+
+    python -m repro.harness explore --stack faulty       # find the §2.2 bug
+    python -m repro.harness explore --stack all --budget 300
+    python -m repro.harness explore --stack indirect --strategy random-walk
+    python -m repro.harness explore --stack faulty --replay "5:c2"
+
 Figure grids execute through :func:`repro.harness.runner.run_suite`:
 points fan out over a process pool (``--jobs``) and completed points
 are cached on disk (``--cache-dir``, ``--no-cache``), so re-running a
@@ -77,7 +85,149 @@ def render_variants() -> str:
     return "\n".join(lines)
 
 
+def explore_main(argv: list[str]) -> int:
+    """The ``explore`` verb: bounded schedule exploration."""
+    from repro.explore import (
+        STRATEGIES,
+        explore,
+        explore_many,
+        explore_spec,
+        outcomes_result_set,
+        registry_explore_specs,
+        replay,
+    )
+    from repro.explore.runner import PRESETS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness explore",
+        description="Systematically explore delivery/crash schedules of a "
+                    "stack and report property violations with shrunk, "
+                    "replayable repro strings.",
+    )
+    parser.add_argument(
+        "--stack",
+        action="append",
+        metavar="NAME",
+        help="stack preset (%s), an abcast/consensus[/rb[/fd]] path, or "
+             "'all' for every allowed registry combination; repeatable "
+             "(default: faulty)" % ", ".join(sorted(PRESETS)),
+    )
+    parser.add_argument(
+        "--strategy",
+        default="delay-bounded",
+        help="search strategy: %s" % ", ".join(STRATEGIES.names()),
+    )
+    parser.add_argument("--budget", type=int, default=4000, metavar="N",
+                        help="max schedules to explore per stack")
+    parser.add_argument("--max-deviations", type=int, default=3, metavar="D",
+                        help="deviations per schedule (search depth)")
+    parser.add_argument("--max-crashes", type=int, default=None, metavar="C",
+                        help="crash budget per schedule (default: min(1, f))")
+    parser.add_argument("--horizon", type=float, default=1.0, metavar="SECS",
+                        help="simulated seconds per schedule")
+    parser.add_argument("--n", type=int, default=3,
+                        help="group size of the explored stacks")
+    parser.add_argument("--fd", default="oracle",
+                        help="failure detector of preset stacks")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="random-walk stream seed")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="pool workers (frontier partitioning for one "
+                             "stack, one stack per worker for several)")
+    parser.add_argument("--all-violations", action="store_true",
+                        help="exhaust the budget instead of stopping at the "
+                             "first violation")
+    parser.add_argument("--replay", metavar="REPRO", default=None,
+                        help="replay one repro string against --stack "
+                             "instead of searching")
+    parser.add_argument("--format", choices=FORMATS, default="table",
+                        help="outcome table format")
+    args = parser.parse_args(argv)
+
+    if args.strategy not in STRATEGIES:
+        parser.error(STRATEGIES.unknown_message(args.strategy))
+    stacks = args.stack or ["faulty"]
+    options = dict(
+        strategy=args.strategy,
+        budget=args.budget,
+        max_deviations=args.max_deviations,
+        max_crashes=args.max_crashes,
+        horizon=args.horizon,
+        stop_after=0 if args.all_violations else 1,
+        seed=args.seed,
+    )
+    from repro.core.exceptions import ConfigurationError
+
+    specs = []
+    try:
+        for name in stacks:
+            if name == "all":
+                specs.extend(registry_explore_specs(
+                    n=args.n, fds=(args.fd,), **options
+                ))
+            else:
+                specs.append(
+                    explore_spec(name, n=args.n, fd=args.fd, **options)
+                )
+    except ConfigurationError as error:
+        parser.error(str(error))
+
+    if args.replay is not None:
+        if len(specs) != 1:
+            parser.error("--replay needs exactly one --stack")
+        system, record = replay(specs[0], args.replay)
+        verdict = record.violation
+        print(f"replayed {args.replay!r} against {specs[0].label}: "
+              f"{record.events} events, "
+              f"{'drained' if record.drained else 'horizon-bounded'}")
+        for pid in sorted(system.processes):
+            sequence = system.trace.adelivery_sequence(pid)
+            crashed = " (crashed)" if system.processes[pid].crashed else ""
+            print(f"  p{pid}{crashed} adelivered: "
+                  f"{[str(mid) for mid in sequence]}")
+        if verdict is None:
+            print("verdict: all checked properties hold")
+            return 0
+        print(f"verdict: {verdict.prop} violated — {verdict.detail}")
+        return 1
+
+    started = time.perf_counter()
+    if len(specs) > 1:
+        outcomes = explore_many(specs, jobs=args.jobs)
+    else:
+        outcomes = [explore(specs[0], jobs=args.jobs)]
+    out = render_resultset(outcomes_result_set(outcomes), format=args.format)
+    sys.stdout.write(out if out.endswith("\n") else out + "\n")
+    if args.format == "table":
+        # The replay command must rebuild the same spec: carry every
+        # spec-shaping flag that differs from its default, or a crash
+        # deviation aimed at (say) p5 would be leniently skipped
+        # against a default n=3 spec and "refute" the finding.
+        shaping = ""
+        for flag, value, default in (
+            ("--n", args.n, 3),
+            ("--fd", args.fd, "oracle"),
+            ("--horizon", args.horizon, 1.0),
+            ("--max-crashes", args.max_crashes, None),
+            ("--max-deviations", args.max_deviations, 3),
+        ):
+            if value != default:
+                shaping += f" {flag} {value}"
+        for outcome in outcomes:
+            for violation in outcome.violations:
+                print(f"[{outcome.spec.label}] {violation.describe()}")
+                print(f"    replay: python -m repro.harness explore "
+                      f"--stack {outcome.spec.name}{shaping} "
+                      f"--replay \"{violation.repro}\"")
+        print(f"[done in {time.perf_counter() - started:.1f}s wall]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "explore":
+        return explore_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate figures from Ekwall & Schiper (DSN 2006).",

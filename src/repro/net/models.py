@@ -272,7 +272,10 @@ class ConstantLatencyNetwork(Network):
             delay += rule.extra
         if self.topology.crosses(frame.src, frame.dst):
             delay += self.topology.router_latency
-        handle = self.engine.schedule(delay, self._deliver, frame)
+        # The annotation is the scheduler seam: an installed
+        # repro.explore Scheduler recognises frame-delivery events by
+        # their Frame info and may reorder or defer them.
+        handle = self.engine.schedule(delay, self._deliver, frame).annotate(frame)
         self._track(frame.src, handle)
 
 

@@ -13,6 +13,23 @@ int), so ordering never dispatches into Python-level ``__lt__`` of a
 dataclass — a measurable win on the simulation hot path (see
 ``benchmarks/test_engine_heap.py``).  The trailing ``_EventRecord``
 never takes part in comparisons because ``(time, seq)`` is unique.
+
+Two run loops share the heap:
+
+* the **default loop** — the hot path.  Local bindings for the heap,
+  ``heappop`` and the loop state keep the per-event overhead down
+  (``benchmarks/test_engine_run_loop.py`` tracks the ns/event figure);
+  behaviour is exactly the documented ``(time, seq)`` order.
+
+* the **controlled loop**, entered only when a :class:`Scheduler` is
+  installed.  At every step it collects the *ready set* — all events
+  tied at the minimum time — and lets the scheduler pick which fires,
+  defer one until the rest of the run has drained, or mutate the
+  simulation (inject a crash) and be asked again.  This is the
+  decision-point seam the systematic schedule exploration of
+  :mod:`repro.explore` drives; with no scheduler installed none of it
+  runs and traces are bit-identical to the pre-seam engine
+  (golden-guarded by ``tests/stack/test_golden_traces.py``).
 """
 
 from __future__ import annotations
@@ -23,10 +40,26 @@ from typing import Any, Callable
 from repro.core.exceptions import ConfigurationError
 
 
-class _EventRecord:
-    """Mutable payload of a heap entry: callback, cancel and done flags."""
+class EventBudgetExceeded(RuntimeError):
+    """``Engine.run`` exceeded its ``max_events`` runaway guard.
 
-    __slots__ = ("time", "fn", "args", "cancelled", "finished")
+    A dedicated type so callers (the schedule explorer's executor)
+    can treat the guard specifically without masking unrelated
+    ``RuntimeError``\\ s raised by protocol callbacks.
+    """
+
+
+class _EventRecord:
+    """Mutable payload of a heap entry: callback, cancel and done flags.
+
+    ``info`` is an optional annotation attached by the scheduling layer
+    (the network tags frame deliveries with the :class:`Frame`, process
+    timers tag their owner) so a :class:`Scheduler` can tell what kind
+    of nondeterminism each pending event represents.  The default loop
+    never reads it.
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled", "finished", "info")
 
     def __init__(
         self, time: float, fn: Callable[..., None], args: tuple[Any, ...]
@@ -36,6 +69,7 @@ class _EventRecord:
         self.args = args
         self.cancelled = False
         self.finished = False
+        self.info: Any = None
 
 
 class EventHandle:
@@ -58,6 +92,16 @@ class EventHandle:
         self._event.cancelled = True
         self._engine._pending -= 1
 
+    def annotate(self, info: Any) -> "EventHandle":
+        """Attach scheduler-visible metadata to this event (chainable).
+
+        The engine treats ``info`` as opaque; see
+        :mod:`repro.explore.scheduler` for the vocabulary the explorer
+        understands (frames, timer owners, crash injections).
+        """
+        self._event.info = info
+        return self
+
     @property
     def cancelled(self) -> bool:
         return self._event.cancelled
@@ -69,8 +113,70 @@ class EventHandle:
 
     @property
     def time(self) -> float:
-        """Simulated time at which the event is (or was) due."""
+        """Simulated time at which the event is (or was) due.
+
+        A deferred event (see :class:`Scheduler`) reports the time it
+        was re-enqueued at, not its original due time.
+        """
         return self._event.time
+
+
+#: Scheduler decision opcodes (the first element of a ``decide`` result).
+FIRE = "fire"      #: execute ready[index] now
+DEFER = "defer"    #: block ready[index] until the rest of the run drains
+AGAIN = "again"    #: scheduler mutated the simulation; re-collect and re-ask
+
+
+class Scheduler:
+    """Decision-point hook consulted by the controlled run loop.
+
+    At every step the engine hands ``decide`` the current ready set —
+    the ``_EventRecord`` objects of every enabled event tied at the
+    minimum pending time, in ``(time, seq)`` order (read-only: inspect
+    ``time``/``fn``/``args``/``info``, do not mutate).  The return value
+    is ``(op, index)``:
+
+    * ``(FIRE, i)`` — execute ``ready[i]``.  The base implementation
+      always answers ``(FIRE, 0)``, which reproduces the uncontrolled
+      engine's ``(time, seq)`` order decision for decision.
+    * ``(DEFER, i)`` — hold ``ready[i]`` back.  With ``defer_delay``
+      set (a float, seconds), the event is re-enqueued ``defer_delay``
+      after now — a bounded-delay adversary, the engine stays finite
+      even against protocols that legitimately spin while a message is
+      missing (rcv-gated consensus does).  With ``defer_delay = None``
+      the event is held until no other runnable event remains (or the
+      run's ``until`` horizon is reached), when every deferred event
+      re-enters at the then-current time in deferral order — the
+      unbounded-delay adversary.  Either way the event is delayed, not
+      cancelled: it stays pending, though a bounded-delay defer landing
+      past ``until`` (or a ``None``-mode release racing the horizon)
+      executes only in a later ``run`` call — callers asserting
+      delivery should gate on ``pending() == 0``, as the explorer's
+      executor does.  A deferred frame *is* lost if its sender crashes
+      first and the network's in-flight tracking cancels it.
+    * ``(AGAIN, 0)`` — the scheduler changed the world itself (e.g.
+      crashed a process); the engine re-collects the ready set (events
+      may have been cancelled) and asks again at the same step.
+
+    Installing a scheduler switches :meth:`Engine.run` onto the
+    controlled loop; ``install_scheduler(None)`` restores the hot path.
+    """
+
+    #: Seconds a deferred event is delayed; ``None`` = held until the
+    #: rest of the run drains (see the ``DEFER`` entry above).
+    defer_delay: float | None = None
+
+    def begin_run(self, engine: "Engine") -> None:  # pragma: no cover - hook
+        """Called once when a controlled ``run`` starts."""
+
+    def decide(
+        self, now: float, ready: list[_EventRecord]
+    ) -> tuple[str, int]:
+        """Pick the next action for the current ready set."""
+        return (FIRE, 0)
+
+    def end_run(self, engine: "Engine") -> None:  # pragma: no cover - hook
+        """Called once when a controlled ``run`` exits (even on error)."""
 
 
 class Engine:
@@ -93,6 +199,8 @@ class Engine:
         self._heap: list[tuple[float, int, _EventRecord]] = []
         self._running = False
         self._pending = 0
+        self._scheduler: Scheduler | None = None
+        self._blocked: list[_EventRecord] = []
         #: Number of callbacks executed so far (diagnostics / runaway guard).
         self.events_executed = 0
 
@@ -100,6 +208,22 @@ class Engine:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def scheduler(self) -> Scheduler | None:
+        """The installed decision-point scheduler, if any."""
+        return self._scheduler
+
+    def install_scheduler(self, scheduler: Scheduler | None) -> None:
+        """Install (or with ``None`` remove) the decision-point scheduler.
+
+        Must not be called while the engine is running.
+        """
+        if self._running:
+            raise ConfigurationError(
+                "cannot install a scheduler while the engine is running"
+            )
+        self._scheduler = scheduler
 
     def schedule(
         self, delay: float, fn: Callable[..., None], *args: Any
@@ -127,7 +251,8 @@ class Engine:
         """Number of not-yet-cancelled events still in the queue.
 
         O(1): a live counter maintained by ``schedule``/``cancel`` and
-        the run loop, instead of a scan over the whole heap.
+        the run loop, instead of a scan over the whole heap.  Deferred
+        events count — they are still due to fire.
         """
         return self._pending
 
@@ -152,26 +277,41 @@ class Engine:
         """
         if self._running:
             raise RuntimeError("Engine.run is not reentrant")
+        if self._scheduler is not None:
+            return self._run_controlled(until, max_events, stop_when)
         self._running = True
+        # Hot path: bind the heap, heappop and the counters once — the
+        # loop body then runs on locals (see
+        # ``benchmarks/test_engine_run_loop.py`` for the ns/event this
+        # buys over per-iteration attribute loads).
+        heap = self._heap
+        heappop = heapq.heappop
         executed = 0
+        events_before = self.events_executed
+        pending = self._pending
         try:
-            while self._heap:
-                time, _, record = self._heap[0]
+            while heap:
+                head = heap[0]
+                record = head[2]
                 if record.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
                     continue
+                time = head[0]
                 if until is not None and time > until:
                     self._now = until
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 self._now = time
                 record.finished = True
-                self._pending -= 1
-                record.fn(*record.args)
-                self.events_executed += 1
+                pending -= 1
+                self._pending = pending
                 executed += 1
+                self.events_executed = events_before + executed
+                record.fn(*record.args)
+                # The callback may have scheduled or cancelled events.
+                pending = self._pending
                 if max_events is not None and executed >= max_events:
-                    raise RuntimeError(
+                    raise EventBudgetExceeded(
                         f"simulation exceeded max_events={max_events} "
                         f"at t={self._now:.6f}s (likely a protocol livelock)"
                     )
@@ -183,6 +323,123 @@ class Engine:
         finally:
             self._running = False
         return self._now
+
+    def _run_controlled(
+        self,
+        until: float | None,
+        max_events: int | None,
+        stop_when: Callable[[], bool] | None,
+    ) -> float:
+        """The scheduler-consulted loop (see :class:`Scheduler`).
+
+        Identical semantics to the default loop when the scheduler
+        always answers ``(FIRE, 0)``; every deviation from that answer
+        is an explored schedule.
+        """
+        scheduler = self._scheduler
+        assert scheduler is not None
+        self._running = True
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        executed = 0
+        scheduler.begin_run(self)
+        try:
+            while True:
+                while heap and heap[0][2].cancelled:
+                    heappop(heap)
+                if not heap:
+                    if self._blocked:
+                        self._release_blocked()
+                        continue
+                    if until is not None:
+                        self._now = max(self._now, until)
+                    break
+                time = heap[0][0]
+                if until is not None and time > until:
+                    if self._blocked:
+                        # The horizon is the deferred events' backstop:
+                        # "arbitrarily slow" still means delivered
+                        # within the run, not silently lost.
+                        self._release_blocked()
+                        continue
+                    self._now = until
+                    break
+                # Ready set: every enabled event tied at the minimum
+                # time, in (time, seq) order.
+                ready: list[_EventRecord] = []
+                entries: list[tuple[float, int, _EventRecord]] = []
+                while heap and heap[0][0] == time:
+                    entry = heappop(heap)
+                    entries.append(entry)
+                    if not entry[2].cancelled:
+                        ready.append(entry[2])
+                if not ready:
+                    for entry in entries:
+                        heappush(heap, entry)
+                    continue
+                op, index = scheduler.decide(time, ready)
+                if op == FIRE:
+                    chosen = ready[index]
+                elif op == DEFER:
+                    chosen = ready[index]
+                    chosen_entry = next(
+                        e for e in entries if e[2] is chosen
+                    )
+                    entries.remove(chosen_entry)
+                    delay = scheduler.defer_delay
+                    if delay is None:
+                        self._blocked.append(chosen)
+                    else:
+                        chosen.time = time + delay
+                        self._seq += 1
+                        heappush(heap, (chosen.time, self._seq, chosen))
+                    for entry in entries:
+                        heappush(heap, entry)
+                    continue
+                elif op == AGAIN:
+                    for entry in entries:
+                        heappush(heap, entry)
+                    continue
+                else:  # pragma: no cover - defensive
+                    raise ConfigurationError(
+                        f"scheduler returned unknown op {op!r}"
+                    )
+                for entry in entries:
+                    if entry[2] is not chosen:
+                        heappush(heap, entry)
+                self._now = time
+                chosen.finished = True
+                self._pending -= 1
+                executed += 1
+                self.events_executed += 1
+                chosen.fn(*chosen.args)
+                if max_events is not None and executed >= max_events:
+                    raise EventBudgetExceeded(
+                        f"simulation exceeded max_events={max_events} "
+                        f"at t={self._now:.6f}s (likely a protocol livelock)"
+                    )
+                if stop_when is not None and stop_when():
+                    break
+        finally:
+            self._running = False
+            scheduler.end_run(self)
+        return self._now
+
+    def _release_blocked(self) -> None:
+        """Re-enqueue every deferred event at the current time.
+
+        Called when nothing else is runnable (or the horizon passed):
+        deferred events fire last, in deferral order.  Cancelled ones
+        (e.g. in-flight frames of a crashed sender) are dropped.
+        """
+        blocked, self._blocked = self._blocked, []
+        for record in blocked:
+            if record.cancelled:
+                continue
+            record.time = max(self._now, record.time)
+            self._seq += 1
+            heapq.heappush(self._heap, (record.time, self._seq, record))
 
     def run_until_idle(self, max_events: int | None = None) -> float:
         """Run until no events remain (convenience for tests)."""

@@ -46,13 +46,17 @@ class SimProcess:
         crash guard is what makes the crash-stop failure model airtight
         without every layer re-checking the flag.
         """
-        return self.engine.schedule(delay, self._guarded, fn, args)
+        return self.engine.schedule(delay, self._guarded, fn, args).annotate(
+            ("timer", self.pid)
+        )
 
     def schedule_at(
         self, time: float, fn: Callable[..., None], *args: Any
     ) -> EventHandle:
         """Absolute-time variant of :meth:`schedule`."""
-        return self.engine.schedule_at(time, self._guarded, fn, args)
+        return self.engine.schedule_at(time, self._guarded, fn, args).annotate(
+            ("timer", self.pid)
+        )
 
     def _guarded(self, fn: Callable[..., None], args: tuple[Any, ...]) -> None:
         if not self.crashed:

@@ -62,7 +62,9 @@ class FifoResource:
         self.busy_time += duration
         self.jobs_served += 1
         if then is not None:
-            self.engine.schedule_at(finish, then, *args)
+            self.engine.schedule_at(finish, then, *args).annotate(
+                ("resource", self.name)
+            )
         return finish
 
     @property

@@ -162,19 +162,30 @@ class Trace(TraceObserver):
     # Derived queries used by the checkers
     # ------------------------------------------------------------------
 
-    def holders_at(self, ids: frozenset[MessageId], time: float) -> frozenset[ProcessId]:
+    def holders_at(
+        self,
+        ids: frozenset[MessageId],
+        time: float,
+        include_crashed: bool = False,
+    ) -> frozenset[ProcessId]:
         """Processes that had r-delivered every message of ``ids`` by ``time``.
 
-        This is the *v-stability* observation: a configuration is v-stable
-        at ``time`` when ``f + 1`` processes are in this set.  A process
-        that crashed before ``time`` no longer counts as a holder (its
-        copy is lost).
+        With ``include_crashed=False`` (the *No loss* observation) a
+        process that crashed before ``time`` no longer counts as a
+        holder — its copy is lost, so the property needs a holder that
+        is still up.  With ``include_crashed=True`` (the *v-stability*
+        observation) every process that had received ``msgs(v)`` by
+        ``time`` counts, crashed since or not: the stability argument
+        is about how many *distinct* processes ever held the messages,
+        because the run-wide bound of at most ``f`` crashes is what
+        turns ``f + 1`` holders into one correct holder.
         """
         holders = set()
         for process, deliveries in self._rdeliveries.items():
-            crash = self._crashes.get(process)
-            if crash is not None and crash.time <= time:
-                continue
+            if not include_crashed:
+                crash = self._crashes.get(process)
+                if crash is not None and crash.time <= time:
+                    continue
             held = {e.message.mid for e in deliveries if e.time <= time}
             if ids <= held:
                 holders.add(process)

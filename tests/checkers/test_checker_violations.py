@@ -1,0 +1,267 @@
+"""Every checker property demonstrably fires on a violating trace.
+
+The schedule-exploration subsystem's verdicts are exactly as
+trustworthy as the checkers: a property whose check never fires would
+silently turn the explorer into a rubber stamp.  This module keeps an
+explicit violating-trace builder for **every** ``check_*`` method of
+every checker class — and a completeness test that fails the moment a
+new check method is added without a demonstrated violation.
+
+(``tests/checkers/test_checkers.py`` covers adjacent cases — clean
+traces, crash exemptions; this file is the exhaustive "does it fire"
+matrix.)
+"""
+
+import pytest
+
+from repro.checkers.abcast import AbcastChecker
+from repro.checkers.broadcast import BroadcastChecker
+from repro.checkers.consensus import ConsensusChecker
+from repro.core.config import SystemConfig
+from repro.core.events import (
+    ABroadcastEvent,
+    ADeliverEvent,
+    CrashEvent,
+    DecideEvent,
+    ProposeEvent,
+    RBroadcastEvent,
+    RDeliverEvent,
+)
+from repro.core.exceptions import ProtocolViolationError
+from repro.core.identifiers import MessageId
+from repro.core.message import AppMessage, make_payload
+from repro.sim.trace import Trace
+
+
+def msg(origin, seq=1):
+    return AppMessage(
+        mid=MessageId(origin, seq), sender=origin, payload=make_payload(1)
+    )
+
+
+def trace_of(*events):
+    trace = Trace()
+    for event in events:
+        trace.record(event)
+    return trace
+
+
+M1, M2, M3 = msg(1), msg(2), msg(3)
+IDS1 = frozenset({M1.mid})
+CFG2 = SystemConfig(n=2, f=0)
+CFG3 = SystemConfig(n=3, f=1)
+
+
+# ----------------------------------------------------------------------
+# One violating scenario per check method:
+#   name -> (checker class, config, trace builder, method args, match)
+# ----------------------------------------------------------------------
+
+VIOLATIONS = {
+    # --- atomic broadcast ---------------------------------------------
+    "abcast.check_validity": (
+        AbcastChecker, CFG2,
+        lambda: trace_of(
+            ABroadcastEvent(time=0.0, process=1, message=M1),
+            # correct p1 never adelivers its own message
+        ),
+        (), "Validity",
+    ),
+    "abcast.check_uniform_integrity": (
+        AbcastChecker, CFG2,
+        lambda: trace_of(
+            ABroadcastEvent(time=0.0, process=1, message=M1),
+            ADeliverEvent(time=0.1, process=2, message=M1),
+            ADeliverEvent(time=0.2, process=2, message=M1),  # duplicate
+        ),
+        (), "integrity",
+    ),
+    "abcast.check_uniform_agreement": (
+        AbcastChecker, SystemConfig(n=2, f=1),
+        lambda: trace_of(
+            ABroadcastEvent(time=0.0, process=1, message=M1),
+            ADeliverEvent(time=0.1, process=1, message=M1),
+            CrashEvent(time=0.2, process=1),
+            # even a faulty adeliverer obliges every correct process
+        ),
+        (), "agreement",
+    ),
+    "abcast.check_uniform_total_order": (
+        AbcastChecker, CFG2,
+        lambda: trace_of(
+            ABroadcastEvent(time=0.0, process=1, message=M1),
+            ABroadcastEvent(time=0.0, process=2, message=M2),
+            ADeliverEvent(time=0.1, process=1, message=M1),
+            ADeliverEvent(time=0.2, process=1, message=M2),
+            ADeliverEvent(time=0.1, process=2, message=M2),
+            ADeliverEvent(time=0.2, process=2, message=M1),
+        ),
+        (), "total order",
+    ),
+    "abcast.check_correct_prefix_consistency": (
+        AbcastChecker, CFG2,
+        lambda: trace_of(
+            ABroadcastEvent(time=0.0, process=1, message=M1),
+            ABroadcastEvent(time=0.0, process=2, message=M2),
+            # same total order, but p2's sequence is a strict prefix —
+            # agreement-style divergence caught wholesale
+            ADeliverEvent(time=0.1, process=1, message=M1),
+            ADeliverEvent(time=0.2, process=1, message=M2),
+            ADeliverEvent(time=0.1, process=2, message=M1),
+        ),
+        (), "consistency",
+    ),
+    "abcast.check_hypothesis_a": (
+        AbcastChecker, CFG2,
+        lambda: trace_of(
+            ABroadcastEvent(time=0.0, process=1, message=M1),
+            RDeliverEvent(time=0.05, process=1, message=M1),
+            DecideEvent(time=0.1, process=1, instance=1, value=IDS1),
+            # decided + held by correct p1, never reaches correct p2
+        ),
+        (), "Hypothesis A",
+    ),
+    # --- reliable broadcast -------------------------------------------
+    "broadcast.check_validity": (
+        BroadcastChecker, CFG2,
+        lambda: trace_of(RBroadcastEvent(time=0.0, process=1, message=M1)),
+        (), "RB Validity",
+    ),
+    "broadcast.check_uniform_integrity": (
+        BroadcastChecker, CFG2,
+        lambda: trace_of(
+            RDeliverEvent(time=0.1, process=2, message=M1),  # never broadcast
+        ),
+        (), "integrity",
+    ),
+    "broadcast.check_agreement": (
+        BroadcastChecker, CFG2,
+        lambda: trace_of(
+            RBroadcastEvent(time=0.0, process=1, message=M1),
+            RDeliverEvent(time=0.0, process=1, message=M1),
+            # correct p2 misses it
+        ),
+        (), "RB Agreement",
+    ),
+    "broadcast.check_uniform_agreement": (
+        BroadcastChecker, SystemConfig(n=2, f=1),
+        lambda: trace_of(
+            RBroadcastEvent(time=0.0, process=1, message=M1, uniform=True),
+            RDeliverEvent(time=0.0, process=1, message=M1, uniform=True),
+            CrashEvent(time=0.05, process=1),
+        ),
+        (), "Uniform agreement",
+    ),
+    # --- consensus -----------------------------------------------------
+    "consensus.check_uniform_integrity": (
+        ConsensusChecker, CFG2,
+        lambda: trace_of(
+            DecideEvent(time=0.1, process=1, instance=1, value=IDS1),
+            DecideEvent(time=0.2, process=1, instance=1, value=IDS1),
+        ),
+        (1,), "integrity",
+    ),
+    "consensus.check_uniform_agreement": (
+        ConsensusChecker, CFG2,
+        lambda: trace_of(
+            DecideEvent(time=0.1, process=1, instance=1, value=IDS1),
+            DecideEvent(time=0.2, process=2, instance=1, value=frozenset()),
+        ),
+        (1,), "agreement",
+    ),
+    "consensus.check_uniform_validity": (
+        ConsensusChecker, CFG2,
+        lambda: trace_of(
+            ProposeEvent(time=0.0, process=1, instance=1, value=frozenset()),
+            DecideEvent(time=0.1, process=1, instance=1, value=IDS1),
+        ),
+        (1,), "validity",
+    ),
+    "consensus.check_termination": (
+        ConsensusChecker, CFG2,
+        lambda: trace_of(
+            ProposeEvent(time=0.0, process=1, instance=1, value=IDS1),
+            ProposeEvent(time=0.0, process=2, instance=1, value=IDS1),
+            DecideEvent(time=0.1, process=1, instance=1, value=IDS1),
+        ),
+        (1,), "Termination",
+    ),
+    "consensus.check_no_loss": (
+        ConsensusChecker, SystemConfig(n=2, f=1),
+        lambda: trace_of(
+            RDeliverEvent(time=0.0, process=1, message=M1),
+            DecideEvent(time=0.1, process=1, instance=1, value=IDS1),
+            CrashEvent(time=0.05, process=1),
+            # sole holder crashed before the decision: no correct holder
+        ),
+        (1,), "No loss",
+    ),
+    "consensus.check_v_stability": (
+        ConsensusChecker, CFG3,
+        lambda: trace_of(
+            RDeliverEvent(time=0.0, process=1, message=M1),
+            DecideEvent(time=0.1, process=1, instance=1, value=IDS1),
+            # one holder ever; f + 1 = 2 needed
+        ),
+        (1,), "v-stability",
+    ),
+}
+
+CHECKERS = (AbcastChecker, BroadcastChecker, ConsensusChecker)
+PREFIX = {
+    AbcastChecker: "abcast",
+    BroadcastChecker: "broadcast",
+    ConsensusChecker: "consensus",
+}
+
+
+def test_every_check_method_has_a_firing_scenario():
+    """Completeness guard: adding a check without a violating trace here
+    fails this test, not silently weakens the explorer."""
+    expected = {
+        f"{PREFIX[cls]}.{name}"
+        for cls in CHECKERS
+        for name in dir(cls)
+        if name.startswith("check_") and name != "check_all"
+    }
+    assert expected == set(VIOLATIONS)
+
+
+@pytest.mark.parametrize("case", sorted(VIOLATIONS))
+def test_property_fires(case):
+    cls, config, build, args, match = VIOLATIONS[case]
+    checker = cls(build(), config)
+    method = getattr(checker, case.split(".", 1)[1])
+    with pytest.raises(ProtocolViolationError, match=match):
+        method(*args)
+
+
+@pytest.mark.parametrize("case", sorted(VIOLATIONS))
+def test_check_all_also_reports_it(case):
+    """The aggregate entry points must reach every individual check."""
+    cls, config, build, args, match = VIOLATIONS[case]
+    checker = cls(build(), config)
+    with pytest.raises(ProtocolViolationError):
+        if cls is BroadcastChecker:
+            checker.check_all(uniform=True)
+        elif cls is ConsensusChecker:
+            checker.check_all(no_loss=True, v_stability=True)
+        else:
+            checker.check_all(expect_quiescent=True)
+
+
+def test_v_stability_counts_holders_that_crashed_after_receiving():
+    """The fixed stability semantics: a holder crashing between its ack
+    and the decision does not subtract from the holder count (the ≤ f
+    total-crash bound is what converts f + 1 holders into No loss)."""
+    trace = trace_of(
+        RDeliverEvent(time=0.0, process=1, message=M1),
+        RDeliverEvent(time=0.0, process=2, message=M1),
+        CrashEvent(time=0.05, process=1),
+        DecideEvent(time=0.1, process=3, instance=1, value=IDS1),
+    )
+    checker = ConsensusChecker(trace, CFG3)
+    checker.check_v_stability(1)   # 2 holders ever: p1 (crashed), p2
+    checker.check_no_loss(1)       # p2 is the surviving correct holder
+    assert trace.holders_at(IDS1, 0.1) == frozenset({2})
+    assert trace.holders_at(IDS1, 0.1, include_crashed=True) == frozenset({1, 2})
