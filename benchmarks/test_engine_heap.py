@@ -1,8 +1,15 @@
 """Micro-benchmark: the engine's schedule/run hot path.
 
-Heap entries are plain ``(time, seq, record)`` tuples so every heap
-sift compares a float (and on ties an int) instead of dispatching into
-a dataclass ``__lt__``.  This benchmark drives the scheduler the way a
+Queue entries are plain ``(time, seq, record)`` tuples so every
+ordering comparison sees a float (and on ties an int) instead of
+dispatching into a dataclass ``__lt__``.  Since the PR 6 overhaul the
+whole schedule path lives on the queue object — ``Engine.schedule``
+delegates to a pre-bound ``queue.push``, which bumps the queue's own
+seq counter and calls a module-global ``heappush``/``insort``, so the
+hot path performs no per-call module-attribute loads and exactly one
+allocation (the merged record/handle).
+``test_schedule_path_ns_per_push`` pins that cost in isolation;
+``test_engine_schedule_run_throughput`` drives the engine the way a
 saturated contention-model run does: a large rolling population of
 pending timers, interleaved scheduling from inside callbacks, plus a
 slice of cancellations.
@@ -10,13 +17,15 @@ slice of cancellations.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.sim.engine import Engine
 
 EVENTS = 20_000
 
 
-def _drive_engine() -> int:
-    engine = Engine()
+def _drive_engine(equeue: str = "calendar") -> int:
+    engine = Engine(equeue=equeue)
     fired = 0
 
     def tick(depth: int) -> None:
@@ -36,14 +45,33 @@ def _drive_engine() -> int:
     return fired
 
 
+def _schedule_only() -> int:
+    # Pure push cost: EVENTS schedules, no drain.  The spread covers
+    # both in-bucket appends and new-bucket creation for the calendar.
+    engine = Engine()
+    schedule_at = engine.schedule_at
+    for i in range(EVENTS):
+        schedule_at(i * 3e-6, _schedule_only)
+    return engine.pending()
+
+
 def test_engine_schedule_run_throughput(benchmark):
     fired = benchmark(_drive_engine)
     assert fired > EVENTS // 2
 
 
-def test_engine_results_unchanged_by_heap_layout():
-    """Tuple-keyed heap preserves (time, then FIFO) callback ordering."""
-    engine = Engine()
+def test_schedule_path_ns_per_push(benchmark):
+    pending = benchmark(_schedule_only)
+    assert pending == EVENTS
+    benchmark.extra_info["ns_per_push"] = round(
+        benchmark.stats.stats.mean * 1e9 / EVENTS, 1
+    )
+
+
+@pytest.mark.parametrize("equeue", ["heap", "calendar"])
+def test_engine_results_unchanged_by_queue_layout(equeue):
+    """Tuple-keyed storage preserves (time, then FIFO) callback ordering."""
+    engine = Engine(equeue=equeue)
     order: list[int] = []
     engine.schedule(0.2, order.append, 3)
     engine.schedule(0.1, order.append, 1)

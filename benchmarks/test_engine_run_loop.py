@@ -5,24 +5,32 @@ count by orders of magnitude — a single bounded search re-executes the
 same small simulation thousands of times — so the per-event overhead
 of the default run loop is the subsystem's constant factor.
 
-The loop was tightened alongside the scheduler seam: the heap,
-``heappop`` and the pending counter are bound to locals once per
-``run`` call instead of being re-loaded through ``self`` on every
-iteration.  Measured on the container this benchmark was written on
-(CPython 3.11, pre-scheduled flat queue of 50k no-op events, best of
-7):
+The trajectory of this figure is tracked in the committed perf ledger
+(``BENCH_*.json``, produced with ``--bench-json``; see the README's
+Performance section).  The structural steps so far, measured on the
+container each PR was written on (CPython, pre-scheduled flat queue of
+50k no-op events):
 
-* before the tightening pass: ~1162 ns/event
-* after:                      ~1018 ns/event  (~12% less)
-* controlled loop (default Scheduler installed): ~1097 ns/event
+* PR 5 local-binding pass: per-iteration attribute loads hoisted into
+  locals (~12% off the seed figure);
+* PR 6 event-core overhaul: one merged record+handle allocation per
+  event (stored bare in the calendar's buckets — no wrapper tuples,
+  half the cyclic-GC scan pressure), scheduling moved onto the queue
+  object, and the calendar queue replacing per-event heap sifts with
+  bucket index bumps — 2219 -> 1095 ns/event mean on this drain
+  (2.03x, ``BENCH_baseline.json`` vs ``BENCH_pr6.json``).
 
 ``benchmark.extra_info["ns_per_event"]`` records the figure for the
-machine the suite runs on.  The second case measures the same drain
-through the *controlled* loop (a default installed scheduler) to keep
-the seam's overhead honest: on singleton ready sets it costs ~8% over
-the hot path (ready-set collection plus one ``decide`` call per
-event), which is why the seam is opt-in and the scheduler-free hot
-path stays untouched.
+machine the suite runs on, for the default (calendar) queue, the
+reference heap queue, and the *controlled* loop (a default installed
+scheduler, which also migrates the engine onto the heap).  The
+controlled case keeps the seam's overhead honest: ready-set collection
+plus one ``decide`` call per event is why the seam is opt-in and the
+scheduler-free hot path stays untouched.
+
+Scheduling cost is **included** in the measured drain: `_prefill` runs
+inside the timed callable, so the figure is (push + pop + dispatch)
+per event, matching what a simulation actually pays.
 """
 
 from __future__ import annotations
@@ -38,9 +46,16 @@ def _noop() -> None:
 
 def _prefill(engine: Engine) -> None:
     # A flat queue of distinct-time events: the loop cost itself, with
-    # no callback work and minimal heap churn per pop.
+    # no callback work and minimal queue churn per pop.
     for i in range(EVENTS):
         engine.schedule_at(i * 1e-6, _noop)
+
+
+def _drain(equeue: str) -> int:
+    engine = Engine(equeue=equeue)
+    _prefill(engine)
+    engine.run_until_idle(max_events=EVENTS + 1)
+    return engine.events_executed
 
 
 def _drain_default() -> int:
@@ -58,20 +73,30 @@ def _drain_controlled() -> int:
     return engine.events_executed
 
 
-def test_run_loop_ns_per_event(benchmark):
-    executed = benchmark(_drain_default)
-    assert executed == EVENTS
+def _note_ns(benchmark) -> None:
     benchmark.extra_info["ns_per_event"] = round(
         benchmark.stats.stats.mean * 1e9 / EVENTS, 1
     )
+
+
+def test_run_loop_ns_per_event(benchmark):
+    """The default engine — calendar queue since the PR 6 overhaul."""
+    executed = benchmark(_drain_default)
+    assert executed == EVENTS
+    _note_ns(benchmark)
+
+
+def test_run_loop_ns_per_event_heap(benchmark):
+    """The reference binary-heap queue on the identical drain."""
+    executed = benchmark(_drain, "heap")
+    assert executed == EVENTS
+    _note_ns(benchmark)
 
 
 def test_controlled_loop_ns_per_event(benchmark):
     executed = benchmark(_drain_controlled)
     assert executed == EVENTS
-    benchmark.extra_info["ns_per_event"] = round(
-        benchmark.stats.stats.mean * 1e9 / EVENTS, 1
-    )
+    _note_ns(benchmark)
 
 
 def test_default_scheduler_preserves_order_and_results():

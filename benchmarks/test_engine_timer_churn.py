@@ -1,0 +1,68 @@
+"""Micro-benchmark: failure-detector-style timer churn on both queues.
+
+The workload the calendar queue's sparse regime is tuned for: many
+long-lived timers armed far ahead of ``now`` (heartbeat interarrival
+timeouts), most of which are *cancelled and re-armed* before firing —
+exactly what ``repro.failure.heartbeat`` does per received heartbeat.
+The binary heap pays a sift per push and carries the tombstones to the
+heap head; the calendar pays an append per push and reaps tombstones
+bucket-locally, with opportunistic compaction keeping cancelled
+entries from dominating storage.
+
+Run with ``--bench-json`` to record the per-queue wall time in the
+perf ledger (see the README's Performance section).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine
+
+PROCESSES = 32
+ROUNDS = 2_000
+TIMEOUT = 0.060          # re-armed watchdog, heartbeat-FD style
+INTERVAL = 0.020         # heartbeat period per process
+
+
+def _churn(equeue: str) -> tuple[int, int]:
+    engine = Engine(equeue=equeue)
+    fired = 0
+    expired = 0
+    watchdogs: list = [None] * PROCESSES
+
+    def heartbeat(pid: int, remaining: int) -> None:
+        nonlocal fired
+        fired += 1
+        # Re-arm the watchdog: cancel the pending timeout, push a new
+        # one TIMEOUT ahead — the churn under test.
+        watchdog = watchdogs[pid]
+        if watchdog is not None:
+            watchdog.cancel()
+        watchdogs[pid] = engine.schedule(TIMEOUT, expire, pid)
+        if remaining > 0:
+            engine.schedule(INTERVAL, heartbeat, pid, remaining - 1)
+
+    def expire(pid: int) -> None:
+        nonlocal expired
+        expired += 1
+
+    for pid in range(PROCESSES):
+        engine.schedule(INTERVAL * (pid / PROCESSES), heartbeat, pid, ROUNDS)
+    engine.run_until_idle(max_events=PROCESSES * ROUNDS * 3)
+    return fired, expired
+
+
+@pytest.mark.parametrize("equeue", ["heap", "calendar"])
+def test_timer_churn(benchmark, equeue):
+    fired, expired = benchmark(_churn, equeue)
+    assert fired == PROCESSES * (ROUNDS + 1)
+    # Every watchdog but the final per-process one was cancelled in time.
+    assert expired == PROCESSES
+    benchmark.extra_info["ns_per_event"] = round(
+        benchmark.stats.stats.mean * 1e9 / fired, 1
+    )
+
+
+def test_churn_outcome_identical_across_queues():
+    assert _churn("heap") == _churn("calendar")

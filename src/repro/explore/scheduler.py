@@ -201,7 +201,7 @@ def describe_record(record: _EventRecord, blocked: bool = False) -> tuple:
         "blocked" if blocked else repr(record.time),
         _describe_callable(fn),
         _describe_value(tuple(args)),
-        _describe_value(record.info),
+        _describe_value(getattr(record, "info", None)),
     )
 
 
@@ -230,7 +230,7 @@ def fingerprint_state(
     pending = sorted(
         [
             repr(describe_record(record))
-            for _, _, record in engine._heap
+            for _, _, record in engine.pending_entries()
             if not record.cancelled
         ]
         + [
@@ -328,7 +328,7 @@ class ExploreScheduler(Scheduler):
 
     @staticmethod
     def _pids_of(record: _EventRecord) -> frozenset[int]:
-        info = record.info
+        info = getattr(record, "info", None)
         if isinstance(info, Frame):
             return frozenset((info.src, info.dst))
         if isinstance(info, tuple) and len(info) == 2 and info[0] in (
@@ -347,7 +347,7 @@ class ExploreScheduler(Scheduler):
     def _deferrable(self, ready: list[_EventRecord]) -> tuple[int, ...]:
         indices = []
         for i, record in enumerate(ready):
-            frame = record.info
+            frame = getattr(record, "info", None)
             if not isinstance(frame, Frame):
                 continue
             if self.defer_data_only and frame.control:
@@ -416,7 +416,7 @@ class ExploreScheduler(Scheduler):
             # first-appearance form) and resets the crash-placement
             # context.  Defers and crashes leave the tie group open.
             for record in ready:
-                if isinstance(record.info, Frame):
+                if isinstance(getattr(record, "info", None), Frame):
                     self._seen_frames.add(record)
             self._crash_context = self._pids_of(ready[decision[1]])
         return decision

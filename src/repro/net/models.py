@@ -118,6 +118,16 @@ class Network:
         self.frames_sent: dict[str, int] = {}
         self.bytes_sent: dict[str, int] = {}
         self.frames_dropped = 0
+        # Same-(time, destination) delivery coalescing (see
+        # _schedule_delivery_at).  Disabled under the lost-socket-buffers
+        # policy: in-flight tracking must be able to cancel each frame
+        # individually.
+        self._batching = not drop_in_flight_of_crashed_sender
+        self._batch_record: EventHandle | None = None
+        self._batch_frames: list[Frame] | None = None
+        self._batch_time = -1.0
+        self._batch_dst = -1
+        self._batch_seq = -1
 
     # ------------------------------------------------------------------
     # Wiring
@@ -199,6 +209,68 @@ class Network:
                 self.frames_dropped += 1
         self._in_flight[src].clear()
 
+    def _schedule_delivery_at(self, time: float, frame: Frame) -> EventHandle:
+        """Schedule ``frame``'s delivery at absolute ``time``, coalescing
+        back-to-back frames due at the same (time, destination) into one
+        event draining a batch list.
+
+        The coalescing condition is *seq-adjacency*: the previous
+        delivery must be the queue's most recent schedule
+        (``queue.seq`` unchanged since).  That is what keeps batching
+        bit-identical — no other event's ``(time, seq)`` key can sit
+        between the coalesced frames, so draining them consecutively
+        from one callback is exactly the order the unbatched engine
+        would have produced.  The batch is closed the moment anything
+        else is scheduled, the time or destination differs, or the
+        event has started executing (``record.state``), which also
+        covers a same-time send issued *from within* the batch's own
+        drain.
+
+        With the engine annotating (explorer installed) every frame
+        keeps its own annotated event so the scheduler seam can defer
+        frames individually; under the lost-socket-buffers policy
+        batching is off so in-flight tracking can cancel per frame.
+        """
+        engine = self.engine
+        if engine.annotating:
+            # The annotation is the scheduler seam: an installed
+            # repro.explore Scheduler recognises frame-delivery events
+            # by their Frame info and may reorder or defer them.
+            return engine.schedule_at(time, self._deliver, frame).annotate(frame)
+        if not self._batching:
+            return engine.schedule_at(time, self._deliver, frame)
+        queue = engine._queue
+        record = self._batch_record
+        if (
+            self._batch_seq == queue.seq
+            and self._batch_time == time
+            and self._batch_dst == frame.dst
+            and record.state == 0
+        ):
+            frames = self._batch_frames
+            if frames is None:
+                # Upgrade the pending single delivery in place: the
+                # already-queued event keeps its (time, seq) key and
+                # now drains a batch list instead of one frame.
+                self._batch_frames = frames = [record.args[0], frame]
+                record.fn = self._deliver_batch
+                record.args = (frames,)
+            else:
+                frames.append(frame)
+            return record
+        handle = engine.schedule_at(time, self._deliver, frame)
+        self._batch_record = handle
+        self._batch_frames = None
+        self._batch_time = time
+        self._batch_dst = frame.dst
+        self._batch_seq = queue.seq
+        return handle
+
+    def _deliver_batch(self, frames: list) -> None:
+        deliver = self._deliver
+        for frame in frames:
+            deliver(frame)
+
     def _deliver(self, frame: Frame) -> None:
         """Hand ``frame`` to the destination (dropped if it crashed)."""
         dst = self._processes[frame.dst]
@@ -272,10 +344,7 @@ class ConstantLatencyNetwork(Network):
             delay += rule.extra
         if self.topology.crosses(frame.src, frame.dst):
             delay += self.topology.router_latency
-        # The annotation is the scheduler seam: an installed
-        # repro.explore Scheduler recognises frame-delivery events by
-        # their Frame info and may reorder or defer them.
-        handle = self.engine.schedule(delay, self._deliver, frame).annotate(frame)
+        handle = self._schedule_delivery_at(self.engine._now + delay, frame)
         self._track(frame.src, handle)
 
 
@@ -410,11 +479,16 @@ class ContentionNetwork(Network):
         if dst.crashed:
             self.frames_dropped += 1
             return
-        dst.cpu.occupy(
-            self.cpu_cost(frame, self.params.recv_overhead),
-            self._deliver_guarded,
-            frame,
-        )
+        cost = self.cpu_cost(frame, self.params.recv_overhead)
+        if self.engine.annotating or not self._batching:
+            dst.cpu.occupy(cost, self._deliver_guarded, frame)
+            return
+        # Charge the CPU occupancy, then schedule the delivery through
+        # the coalescing path: back-to-back zero-length completions at
+        # the same instant (and destination) drain as one event.  Same
+        # (time, seq) as the occupy-scheduled callback would have had.
+        finish = dst.cpu.occupy(cost)
+        self._schedule_delivery_at(finish, frame)
 
     def _deliver_guarded(self, frame: Frame) -> None:
         self._deliver(frame)

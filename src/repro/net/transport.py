@@ -37,6 +37,11 @@ class Transport:
         # identity (it is rebuilt only when a process attaches).
         self._peers_snapshot: tuple[ProcessId, ...] = ()
         self._others: tuple[ProcessId, ...] = ()
+        # Send-path caches: the pid never changes after construction
+        # and the network object never changes, so the hot paths skip
+        # the property descriptor and the per-call attribute walk.
+        self._pid = process.pid
+        self._net_send = network.send
         network.attach(process, self._dispatch)
 
     @property
@@ -79,9 +84,9 @@ class Transport:
         control: bool = True,
     ) -> None:
         """Send one frame to ``dst`` (which may be this process itself)."""
-        self.network.send(
+        self._net_send(
             Frame(
-                src=self.pid,
+                src=self._pid,
                 dst=dst,
                 kind=kind,
                 body=body,
@@ -129,6 +134,17 @@ class Transport:
         peers = self.network.pids()
         if peers is not self._peers_snapshot:
             self._peers_snapshot = peers
-            self._others = tuple(p for p in peers if p != self.pid)
+            self._others = tuple(p for p in peers if p != self._pid)
+        net_send = self._net_send
+        pid = self._pid
         for dst in peers if include_self else self._others:
-            self.send(dst, kind, body, size, control)
+            net_send(
+                Frame(
+                    src=pid,
+                    dst=dst,
+                    kind=kind,
+                    body=body,
+                    size=size,
+                    control=control,
+                )
+            )

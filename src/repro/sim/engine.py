@@ -1,25 +1,27 @@
 """The discrete-event engine: a simulated clock and an event queue.
 
-The engine is deliberately minimal: a min-heap of ``(time, sequence)``
-keyed callbacks and a ``run`` loop.  Protocol logic lives in layers; the
-engine only guarantees that callbacks fire in non-decreasing time order
-and that ties are broken by scheduling order, which — together with the
-named RNG streams of :mod:`repro.sim.rng` — makes whole simulations
-bit-for-bit reproducible.
+The engine is deliberately minimal: a pluggable pending-event store
+(see :mod:`repro.sim.equeue`) and a ``run`` loop.  Protocol logic lives
+in layers; the engine only guarantees that callbacks fire in
+non-decreasing time order and that ties are broken by scheduling order,
+which — together with the named RNG streams of :mod:`repro.sim.rng` —
+makes whole simulations bit-for-bit reproducible.
 
-Heap entries are plain ``(time, seq, record)`` tuples: every sift in
-``heappush``/``heappop`` compares the leading float (and, on a tie, the
-int), so ordering never dispatches into Python-level ``__lt__`` of a
-dataclass — a measurable win on the simulation hot path (see
-``benchmarks/test_engine_heap.py``).  The trailing ``_EventRecord``
-never takes part in comparisons because ``(time, seq)`` is unique.
+The *storage* of pending events is a seam.  ``Engine(equeue=...)``
+selects an :class:`~repro.sim.equeue.EventQueue` implementation:
 
-Two run loops share the heap:
+* ``"calendar"`` (the default) — a calendar-queue / timer-wheel hybrid
+  whose push/pop cost beats heap sifts on both dense frame traffic and
+  sparse timer stretches; ordering is bit-identical to the heap
+  (golden-guarded, plus a randomized equivalence property test in
+  ``tests/sim/test_equeue.py``).
+* ``"heap"`` — the reference ``heapq`` implementation.
 
-* the **default loop** — the hot path.  Local bindings for the heap,
-  ``heappop`` and the loop state keep the per-event overhead down
-  (``benchmarks/test_engine_run_loop.py`` tracks the ns/event figure);
-  behaviour is exactly the documented ``(time, seq)`` order.
+Two run loops exist:
+
+* the **default loop** — the hot path, owned by the queue itself
+  (:meth:`EventQueue.drain`), so each storage keeps its loop on locals
+  (``benchmarks/test_engine_run_loop.py`` tracks the ns/event figure).
 
 * the **controlled loop**, entered only when a :class:`Scheduler` is
   installed.  At every step it collects the *ready set* — all events
@@ -27,98 +29,53 @@ Two run loops share the heap:
   defer one until the rest of the run has drained, or mutate the
   simulation (inject a crash) and be asked again.  This is the
   decision-point seam the systematic schedule exploration of
-  :mod:`repro.explore` drives; with no scheduler installed none of it
-  runs and traces are bit-identical to the pre-seam engine
+  :mod:`repro.explore` drives.  The controlled loop manipulates binary
+  heap entries directly, so installing a scheduler automatically
+  migrates the engine onto the heap queue (and removing it migrates
+  back); entries keep their ``(time, seq)`` keys across a migration,
+  so the schedule is unaffected.  With no scheduler installed none of
+  this runs and traces are bit-identical to the pre-seam engine
   (golden-guarded by ``tests/stack/test_golden_traces.py``).
+
+Annotations (:meth:`EventHandle.annotate`) are **lazy**: the engine
+carries an ``annotating`` flag, off by default, and the hot scheduling
+sites (process timers, resource grants, frame deliveries) only attach
+their metadata when it is set.  Installing a scheduler turns it on, as
+does building a system with a full :class:`~repro.sim.trace.Trace`
+observer (the explorer builds that way); pure performance runs pay
+nothing for metadata nobody will read.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.core.exceptions import ConfigurationError
+from repro.sim.equeue import (
+    EQUEUES,
+    BinaryHeapQueue,
+    CalendarQueue,
+    EventBudgetExceeded,
+    EventHandle,
+    EventQueue,
+    make_equeue,
+)
 
+__all__ = [
+    "AGAIN",
+    "DEFER",
+    "FIRE",
+    "Engine",
+    "EventBudgetExceeded",
+    "EventHandle",
+    "Scheduler",
+]
 
-class EventBudgetExceeded(RuntimeError):
-    """``Engine.run`` exceeded its ``max_events`` runaway guard.
-
-    A dedicated type so callers (the schedule explorer's executor)
-    can treat the guard specifically without masking unrelated
-    ``RuntimeError``\\ s raised by protocol callbacks.
-    """
-
-
-class _EventRecord:
-    """Mutable payload of a heap entry: callback, cancel and done flags.
-
-    ``info`` is an optional annotation attached by the scheduling layer
-    (the network tags frame deliveries with the :class:`Frame`, process
-    timers tag their owner) so a :class:`Scheduler` can tell what kind
-    of nondeterminism each pending event represents.  The default loop
-    never reads it.
-    """
-
-    __slots__ = ("time", "fn", "args", "cancelled", "finished", "info")
-
-    def __init__(
-        self, time: float, fn: Callable[..., None], args: tuple[Any, ...]
-    ) -> None:
-        self.time = time
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
-        self.finished = False
-        self.info: Any = None
-
-
-class EventHandle:
-    """Opaque handle returned by :meth:`Engine.schedule`; supports cancel."""
-
-    __slots__ = ("_event", "_engine")
-
-    def __init__(self, event: _EventRecord, engine: "Engine") -> None:
-        self._event = event
-        self._engine = engine
-
-    def cancel(self) -> None:
-        """Prevent the callback from firing (idempotent).
-
-        A no-op once the callback has already executed — there is
-        nothing left to prevent.
-        """
-        if self._event.cancelled or self._event.finished:
-            return
-        self._event.cancelled = True
-        self._engine._pending -= 1
-
-    def annotate(self, info: Any) -> "EventHandle":
-        """Attach scheduler-visible metadata to this event (chainable).
-
-        The engine treats ``info`` as opaque; see
-        :mod:`repro.explore.scheduler` for the vocabulary the explorer
-        understands (frames, timer owners, crash injections).
-        """
-        self._event.info = info
-        return self
-
-    @property
-    def cancelled(self) -> bool:
-        return self._event.cancelled
-
-    @property
-    def finished(self) -> bool:
-        """True once the callback has executed."""
-        return self._event.finished
-
-    @property
-    def time(self) -> float:
-        """Simulated time at which the event is (or was) due.
-
-        A deferred event (see :class:`Scheduler`) reports the time it
-        was re-enqueued at, not its original due time.
-        """
-        return self._event.time
+#: Backward-compatible alias: the queue record and the schedule handle
+#: are one object now (one allocation per event; see
+#: :class:`repro.sim.equeue.EventHandle`).
+_EventRecord = EventHandle
 
 
 #: Scheduler decision opcodes (the first element of a ``decide`` result).
@@ -131,7 +88,7 @@ class Scheduler:
     """Decision-point hook consulted by the controlled run loop.
 
     At every step the engine hands ``decide`` the current ready set —
-    the ``_EventRecord`` objects of every enabled event tied at the
+    the :class:`EventHandle` records of every enabled event tied at the
     minimum pending time, in ``(time, seq)`` order (read-only: inspect
     ``time``/``fn``/``args``/``info``, do not mutate).  The return value
     is ``(op, index)``:
@@ -170,7 +127,7 @@ class Scheduler:
         """Called once when a controlled ``run`` starts."""
 
     def decide(
-        self, now: float, ready: list[_EventRecord]
+        self, now: float, ready: list[EventHandle]
     ) -> tuple[str, int]:
         """Pick the next action for the current ready set."""
         return (FIRE, 0)
@@ -191,16 +148,42 @@ class Engine:
     Simulated time is a float in **seconds**.  The engine never looks at
     wall-clock time; a simulation of hours of traffic completes in however
     long the callbacks take to execute.
+
+    Args:
+        equeue: Pending-event storage — a key of
+            :data:`repro.sim.equeue.EQUEUES` (``"calendar"``/``"heap"``)
+            or a ready :class:`EventQueue` instance.  Purely a
+            performance choice; ordering is identical.
+        annotating: Start with scheduler-visible event annotations
+            enabled (normally left to ``install_scheduler`` /
+            ``build_system``; see the module docstring).
     """
 
-    def __init__(self) -> None:
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_qpush",
+        "_running",
+        "_scheduler",
+        "_blocked",
+        "annotating",
+        "events_executed",
+    )
+
+    def __init__(
+        self,
+        equeue: str | EventQueue = "calendar",
+        annotating: bool = False,
+    ) -> None:
         self._now = 0.0
-        self._seq = 0
-        self._heap: list[tuple[float, int, _EventRecord]] = []
+        self._queue = make_equeue(equeue)
+        self._qpush = self._queue.push
         self._running = False
-        self._pending = 0
         self._scheduler: Scheduler | None = None
-        self._blocked: list[_EventRecord] = []
+        self._blocked: list[EventHandle] = []
+        #: Whether hot scheduling sites should attach ``info``
+        #: annotations (see the module docstring).
+        self.annotating = annotating
         #: Number of callbacks executed so far (diagnostics / runaway guard).
         self.events_executed = 0
 
@@ -214,16 +197,43 @@ class Engine:
         """The installed decision-point scheduler, if any."""
         return self._scheduler
 
+    @property
+    def equeue(self) -> EventQueue:
+        """The live pending-event store (see :mod:`repro.sim.equeue`)."""
+        return self._queue
+
     def install_scheduler(self, scheduler: Scheduler | None) -> None:
         """Install (or with ``None`` remove) the decision-point scheduler.
 
-        Must not be called while the engine is running.
+        Installing migrates the pending set onto the binary heap queue
+        (the controlled loop manipulates heap entries directly) and
+        enables annotations; removing migrates back to the calendar
+        queue.  Entries keep their ``(time, seq)`` keys either way, so
+        a migration never reorders anything.  Must not be called while
+        the engine is running.
         """
         if self._running:
             raise ConfigurationError(
                 "cannot install a scheduler while the engine is running"
             )
         self._scheduler = scheduler
+        if scheduler is not None:
+            self.annotating = True
+            if self._queue.kind != "heap":
+                self._migrate(BinaryHeapQueue)
+        elif self._queue.kind != "calendar":
+            self._migrate(CalendarQueue)
+
+    def _migrate(self, cls: type[EventQueue]) -> None:
+        self._queue = queue = cls.from_queue(self._queue)
+        self._qpush = queue.push
+        # Deferred-and-blocked records live outside the store: repoint
+        # them (their cancel() must hit the live queue's counters) and
+        # carry their tombstones, which snapshot() cannot see.
+        for record in self._blocked:
+            record._queue = queue
+            if record.state == 1:
+                queue._cancelled += 1
 
     def schedule(
         self, delay: float, fn: Callable[..., None], *args: Any
@@ -231,7 +241,7 @@ class Engine:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ConfigurationError(f"cannot schedule in the past: delay={delay}")
-        return self.schedule_at(self._now + delay, fn, *args)
+        return self._qpush(self._now + delay, fn, args)
 
     def schedule_at(
         self, time: float, fn: Callable[..., None], *args: Any
@@ -241,20 +251,25 @@ class Engine:
             raise ConfigurationError(
                 f"cannot schedule at {time}, current time is {self._now}"
             )
-        self._seq += 1
-        record = _EventRecord(time, fn, args)
-        heapq.heappush(self._heap, (time, self._seq, record))
-        self._pending += 1
-        return EventHandle(record, self)
+        return self._qpush(time, fn, args)
 
     def pending(self) -> int:
         """Number of not-yet-cancelled events still in the queue.
 
         O(1): a live counter maintained by ``schedule``/``cancel`` and
-        the run loop, instead of a scan over the whole heap.  Deferred
+        the run loop, instead of a scan over the whole store.  Deferred
         events count — they are still due to fire.
         """
-        return self._pending
+        return self._queue.pending
+
+    def pending_entries(self) -> list[tuple[float, int, EventHandle]]:
+        """Snapshot of the stored ``(time, seq, record)`` entries.
+
+        Unordered, and may include cancelled tombstones (check
+        ``record.cancelled``); the explorer's state fingerprint and
+        debugging tools read this instead of reaching into the store.
+        """
+        return self._queue.snapshot()
 
     def run(
         self,
@@ -280,49 +295,10 @@ class Engine:
         if self._scheduler is not None:
             return self._run_controlled(until, max_events, stop_when)
         self._running = True
-        # Hot path: bind the heap, heappop and the counters once — the
-        # loop body then runs on locals (see
-        # ``benchmarks/test_engine_run_loop.py`` for the ns/event this
-        # buys over per-iteration attribute loads).
-        heap = self._heap
-        heappop = heapq.heappop
-        executed = 0
-        events_before = self.events_executed
-        pending = self._pending
         try:
-            while heap:
-                head = heap[0]
-                record = head[2]
-                if record.cancelled:
-                    heappop(heap)
-                    continue
-                time = head[0]
-                if until is not None and time > until:
-                    self._now = until
-                    break
-                heappop(heap)
-                self._now = time
-                record.finished = True
-                pending -= 1
-                self._pending = pending
-                executed += 1
-                self.events_executed = events_before + executed
-                record.fn(*record.args)
-                # The callback may have scheduled or cancelled events.
-                pending = self._pending
-                if max_events is not None and executed >= max_events:
-                    raise EventBudgetExceeded(
-                        f"simulation exceeded max_events={max_events} "
-                        f"at t={self._now:.6f}s (likely a protocol livelock)"
-                    )
-                if stop_when is not None and stop_when():
-                    break
-            else:
-                if until is not None:
-                    self._now = max(self._now, until)
+            return self._queue.drain(self, until, max_events, stop_when)
         finally:
             self._running = False
-        return self._now
 
     def _run_controlled(
         self,
@@ -339,15 +315,16 @@ class Engine:
         scheduler = self._scheduler
         assert scheduler is not None
         self._running = True
-        heap = self._heap
-        heappop = heapq.heappop
-        heappush = heapq.heappush
+        queue = self._queue
+        assert queue.kind == "heap"  # install_scheduler migrated us
+        heap = queue.entries
         executed = 0
         scheduler.begin_run(self)
         try:
             while True:
-                while heap and heap[0][2].cancelled:
+                while heap and heap[0][2].state == 1:
                     heappop(heap)
+                    queue._cancelled -= 1
                 if not heap:
                     if self._blocked:
                         self._release_blocked()
@@ -367,16 +344,15 @@ class Engine:
                     break
                 # Ready set: every enabled event tied at the minimum
                 # time, in (time, seq) order.
-                ready: list[_EventRecord] = []
-                entries: list[tuple[float, int, _EventRecord]] = []
+                ready: list[EventHandle] = []
+                entries: list[tuple[float, int, EventHandle]] = []
                 while heap and heap[0][0] == time:
                     entry = heappop(heap)
                     entries.append(entry)
-                    if not entry[2].cancelled:
+                    if entry[2].state != 1:
                         ready.append(entry[2])
                 if not ready:
-                    for entry in entries:
-                        heappush(heap, entry)
+                    queue._cancelled -= len(entries)
                     continue
                 op, index = scheduler.decide(time, ready)
                 if op == FIRE:
@@ -392,8 +368,8 @@ class Engine:
                         self._blocked.append(chosen)
                     else:
                         chosen.time = time + delay
-                        self._seq += 1
-                        heappush(heap, (chosen.time, self._seq, chosen))
+                        queue.seq += 1
+                        heappush(heap, (chosen.time, queue.seq, chosen))
                     for entry in entries:
                         heappush(heap, entry)
                     continue
@@ -409,8 +385,8 @@ class Engine:
                     if entry[2] is not chosen:
                         heappush(heap, entry)
                 self._now = time
-                chosen.finished = True
-                self._pending -= 1
+                chosen.state = 2
+                queue.pending -= 1
                 executed += 1
                 self.events_executed += 1
                 chosen.fn(*chosen.args)
@@ -433,13 +409,17 @@ class Engine:
         deferred events fire last, in deferral order.  Cancelled ones
         (e.g. in-flight frames of a crashed sender) are dropped.
         """
+        queue = self._queue
         blocked, self._blocked = self._blocked, []
         for record in blocked:
-            if record.cancelled:
+            if record.state == 1:
+                # Never entered the store as a tombstone: settle the
+                # cancellation accounting here instead.
+                queue._cancelled -= 1
                 continue
             record.time = max(self._now, record.time)
-            self._seq += 1
-            heapq.heappush(self._heap, (record.time, self._seq, record))
+            queue.seq += 1
+            heappush(queue.entries, (record.time, queue.seq, record))
 
     def run_until_idle(self, max_events: int | None = None) -> float:
         """Run until no events remain (convenience for tests)."""

@@ -1,0 +1,643 @@
+"""Pluggable event queues for the discrete-event engine.
+
+The engine's contract is small and strict: events fire in non-decreasing
+``time`` order, ties broken by scheduling order (``seq``), and the whole
+thing is bit-for-bit deterministic.  *How* the pending set is stored is
+a pure performance decision, so it is a seam: an :class:`EventQueue`
+owns the pending entries, the monotonically increasing sequence
+counter, the O(1) ``pending`` count, **and the run loop itself** —
+``Engine.run`` delegates to :meth:`EventQueue.drain` so each
+implementation can keep its hot loop on locals instead of paying a
+method call per event.
+
+Two implementations:
+
+* :class:`BinaryHeapQueue` — the reference implementation: a ``heapq``
+  min-heap of ``(time, seq, record)`` tuples, exactly the structure the
+  engine grew up with.  The controlled (scheduler-driven) run loop of
+  :mod:`repro.explore` manipulates heap entries directly, so installing
+  a :class:`~repro.sim.engine.Scheduler` migrates the engine onto this
+  queue automatically.
+
+* :class:`CalendarQueue` — a calendar-queue / timer-wheel hybrid and
+  the default for scheduler-free runs.  Events hash into fixed-width
+  time buckets (*days*); a small heap of day indices orders the
+  non-empty buckets, so the common case — dense microsecond-scale
+  frame/CPU events — costs an append on push and an index bump on pop,
+  while sparse timer-only stretches (heartbeat failure detectors,
+  chained workload timers) degrade gracefully to a heap of *buckets*
+  instead of a heap of *events*.  The bucket width adapts upward when
+  the queue observes mostly-singleton buckets, which is what makes one
+  queue serve both the saturated contention sweeps and the
+  timer-dominated idle stretches of the same run.
+
+Ordering is bit-identical between the two: within a bucket entries are
+sorted by the same ``(time, seq)`` key the heap uses, equal times always
+land in the same bucket, and times in day *d* are strictly below times
+in day *d+1*.  ``tests/sim/test_equeue.py`` drives both queues through
+randomized adversarial schedules (bucket-boundary ties, same-tick
+bursts, far-future timers, mid-run cancellations) and asserts identical
+pop sequences; the golden-trace suite pins whole-simulation
+bit-identity on top.
+
+Cancellation is lazy — ``cancel`` flags the record and the drain loops
+skip tombstones — but not unboundedly so: the queue counts live
+tombstones and compacts the stored entries in place once they are the
+majority (see :meth:`EventQueue.note_cancel`), so a timer-churn-heavy
+run (failure detectors re-arming per heartbeat) cannot accumulate a
+queue-head glacier of dead events.  ``pending`` stays O(1) throughout.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heapify, heappop, heappush
+from operator import attrgetter
+from typing import Any, Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+_INF = float("inf")
+#: Never execute more events than this in one ``drain`` call without an
+#: explicit ``max_events`` (a plain "unbounded" sentinel).
+_UNBOUNDED = 1 << 62
+#: Tombstones must number at least this many — and outnumber live
+#: entries — before a compaction pass is worth its O(n).
+_COMPACT_MIN = 64
+#: Drained prefix length at which the calendar's current bucket is
+#: trimmed (bounds memory held by fired entries in same-tick bursts).
+_TRIM = 8192
+
+
+class EventBudgetExceeded(RuntimeError):
+    """``Engine.run`` exceeded its ``max_events`` runaway guard.
+
+    A dedicated type so callers (the schedule explorer's executor)
+    can treat the guard specifically without masking unrelated
+    ``RuntimeError``\\ s raised by protocol callbacks.
+    """
+
+
+class EventHandle:
+    """A scheduled event: callback, due time, and cancellation state.
+
+    This is both the queue's internal record *and* the opaque handle
+    :meth:`Engine.schedule` returns — one allocation per event, on the
+    hottest path of the whole simulator.  ``state`` encodes the
+    lifecycle (0 pending, 1 cancelled, 2 finished); ``info`` is the
+    scheduler-visible annotation and is **only assigned when someone
+    annotates** — read it with ``getattr(record, "info", None)`` (the
+    normal run path never allocates or touches it; see
+    ``Engine.annotating``).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "state", "info", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...],
+        queue: "EventQueue",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.state = 0
+        self._queue = queue
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent).
+
+        A no-op once the callback has already executed — there is
+        nothing left to prevent.
+        """
+        if self.state:
+            return
+        self.state = 1
+        self._queue.note_cancel()
+
+    def annotate(self, info: Any) -> "EventHandle":
+        """Attach scheduler-visible metadata to this event (chainable).
+
+        The engine treats ``info`` as opaque; see
+        :mod:`repro.explore.scheduler` for the vocabulary the explorer
+        understands (frames, timer owners, crash injections).  Hot
+        scheduling sites skip the call entirely unless
+        ``Engine.annotating`` is set — which is what makes annotations
+        free for plain performance runs.
+        """
+        self.info = info
+        return self
+
+    @property
+    def cancelled(self) -> bool:
+        return self.state == 1
+
+    @property
+    def finished(self) -> bool:
+        """True once the callback has executed."""
+        return self.state == 2
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = ("pending", "cancelled", "finished")[self.state]
+        return f"EventHandle(t={self.time!r}, {status})"
+
+
+#: Bound once: the push paths allocate handles via ``__new__`` plus
+#: inline attribute stores, skipping the ``__init__`` frame (~45 ns per
+#: event on this class — measured, see benchmarks/test_engine_heap.py).
+_new_handle = EventHandle.__new__
+#: C-level sort/insort key for record-holding bucket lists: the merged
+#: handle carries its own ``(time, seq)``, so the calendar stores bare
+#: records (one tracked container per event instead of two — halves
+#: the cyclic-GC scan pressure a 50k-event prefill generates).
+_time_seq = attrgetter("time", "seq")
+
+
+class EventQueue:
+    """Interface + shared bookkeeping of a pending-event store.
+
+    Subclasses implement the storage (:meth:`push`, :meth:`drain`,
+    :meth:`snapshot`, :meth:`_compact`); the base class owns the
+    counters every implementation shares:
+
+    * ``seq`` — the monotonically increasing tie-break counter.  It
+      lives on the queue (not the engine) so the push path touches a
+      single object; migrations between queue kinds carry it over, so
+      ``(time, seq)`` keys stay globally unique per engine.
+    * ``pending`` — live (scheduled, not yet fired, not cancelled)
+      event count; O(1) by maintenance.
+    * ``_cancelled`` — tombstones still physically stored; drives the
+      opportunistic compaction policy in :meth:`note_cancel`.
+    """
+
+    kind = "abstract"
+
+    def __init__(self) -> None:
+        self.seq = 0
+        self.pending = 0
+        self._cancelled = 0
+
+    # -- storage interface --------------------------------------------
+
+    def push(
+        self, time: float, fn: Callable[..., None], args: tuple[Any, ...]
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at ``time``; returns the handle."""
+        raise NotImplementedError
+
+    def drain(
+        self,
+        engine: "Engine",
+        until: float | None,
+        max_events: int | None,
+        stop_when: Callable[[], bool] | None,
+    ) -> float:
+        """The default (scheduler-free) run loop over this storage."""
+        raise NotImplementedError
+
+    def snapshot(self) -> list[tuple[float, int, EventHandle]]:
+        """Every stored ``(time, seq, record)`` entry, tombstones
+        included, in no particular order (callers sort or filter)."""
+        raise NotImplementedError
+
+    def _stored(self) -> int:
+        """Number of entries physically stored (live + tombstones)."""
+        raise NotImplementedError
+
+    def _compact(self) -> None:
+        """Drop tombstoned entries from storage, in place."""
+        raise NotImplementedError
+
+    # -- shared bookkeeping -------------------------------------------
+
+    def note_cancel(self) -> None:
+        """Account one cancellation; compact if tombstones dominate.
+
+        Called by :meth:`EventHandle.cancel`.  Compaction triggers only
+        when at least ``_COMPACT_MIN`` tombstones exist *and* they are
+        at least half the stored entries, so the amortized cost per
+        cancel is O(1) and a cancel-heavy run (failure-detector timer
+        churn) never scans a mostly-live queue.
+        """
+        self.pending -= 1
+        cancelled = self._cancelled = self._cancelled + 1
+        if cancelled >= _COMPACT_MIN and cancelled * 2 >= self._stored():
+            self._compact()
+
+    @classmethod
+    def from_queue(cls, other: "EventQueue") -> "EventQueue":
+        """Build this kind of queue holding ``other``'s pending set.
+
+        Entries keep their original ``(time, seq)`` keys, so ordering
+        is unaffected by a migration; the engine migrates to the heap
+        when a scheduler is installed (the controlled loop manipulates
+        heap entries directly) and back when it is removed.
+        """
+        queue = cls()
+        queue.seq = other.seq
+        queue.pending = other.pending
+        entries = other.snapshot()
+        queue._cancelled = sum(1 for e in entries if e[2].state == 1)
+        for entry in entries:
+            entry[2]._queue = queue
+        queue._adopt(entries)
+        return queue
+
+    def _adopt(self, entries: list[tuple[float, int, EventHandle]]) -> None:
+        raise NotImplementedError
+
+
+class BinaryHeapQueue(EventQueue):
+    """The reference storage: one ``heapq`` min-heap of plain tuples.
+
+    Heap entries are ``(time, seq, record)`` so every sift compares the
+    leading float (and, on a tie, the int) and never dispatches into
+    Python-level ``__lt__``.  ``heappush``/``heappop``/``heapify`` are
+    bound as module globals, so neither the push path nor the drain
+    loop performs a dotted module-attribute load per event (see
+    ``benchmarks/test_engine_heap.py``).
+    """
+
+    kind = "heap"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: The heap list.  Public: the engine's controlled loop (and
+        #: ``_release_blocked``) push/pop entries directly.
+        self.entries: list[tuple[float, int, EventHandle]] = []
+
+    def push(
+        self, time: float, fn: Callable[..., None], args: tuple[Any, ...]
+    ) -> EventHandle:
+        self.seq = seq = self.seq + 1
+        record = _new_handle(EventHandle)
+        record.time = time
+        record.seq = seq
+        record.fn = fn
+        record.args = args
+        record.state = 0
+        record._queue = self
+        heappush(self.entries, (time, seq, record))
+        self.pending += 1
+        return record
+
+    def snapshot(self) -> list[tuple[float, int, EventHandle]]:
+        return list(self.entries)
+
+    def _stored(self) -> int:
+        return len(self.entries)
+
+    def _compact(self) -> None:
+        # In place: the drain loop binds the list object once, so the
+        # identity must survive a mid-run compaction triggered by a
+        # cancel inside a callback.  Decrement by what was removed
+        # rather than resetting: tombstones can also live outside the
+        # store (the controlled loop's deferred-and-blocked records).
+        entries = self.entries
+        before = len(entries)
+        entries[:] = [e for e in entries if not e[2].state]
+        heapify(entries)
+        self._cancelled -= before - len(entries)
+
+    def _adopt(self, entries: list[tuple[float, int, EventHandle]]) -> None:
+        heapify(entries)
+        self.entries = entries
+
+    def drain(
+        self,
+        engine: "Engine",
+        until: float | None,
+        max_events: int | None,
+        stop_when: Callable[[], bool] | None,
+    ) -> float:
+        entries = self.entries
+        pop = heappop
+        until_f = _INF if until is None else until
+        budget = _UNBOUNDED if max_events is None else max_events
+        executed = 0
+        events_before = engine.events_executed
+        pending = self.pending
+        try:
+            while entries:
+                head = entries[0]
+                record = head[2]
+                if record.state:
+                    pop(entries)
+                    self._cancelled -= 1
+                    continue
+                time = head[0]
+                if time > until_f:
+                    engine._now = until
+                    break
+                pop(entries)
+                engine._now = time
+                record.state = 2
+                pending -= 1
+                self.pending = pending
+                executed += 1
+                record.fn(*record.args)
+                # The callback may have scheduled or cancelled events.
+                pending = self.pending
+                if executed >= budget:
+                    raise EventBudgetExceeded(
+                        f"simulation exceeded max_events={max_events} "
+                        f"at t={engine._now:.6f}s (likely a protocol livelock)"
+                    )
+                if stop_when is not None and stop_when():
+                    break
+            else:
+                if until is not None and until > engine._now:
+                    engine._now = until
+        finally:
+            engine.events_executed = events_before + executed
+        return engine._now
+
+
+class CalendarQueue(EventQueue):
+    """Calendar-queue / timer-wheel hybrid storage.
+
+    Records hash into *days* — fixed-``width`` time buckets stored in
+    a dict — and a small int-heap of day indices orders the non-empty
+    days.  Buckets hold the :class:`EventHandle` records themselves
+    (the merged handle carries its own ``(time, seq)``), not wrapper
+    tuples: one tracked container per event instead of two, which
+    halves the cyclic-GC scan pressure of a large pending set.  The
+    day being drained (``_cur``) is sorted ascending by ``(time,
+    seq)`` (via the C-level ``attrgetter`` key) and consumed through
+    an index, so a pop is an index bump and a push into the current
+    day is a C-level ``insort``; pushes into future days are a dict
+    lookup plus ``list.append``, with one ``sort`` amortized over the
+    whole bucket when the drain reaches it.  Cross-bucket order is
+    inherited from the day index
+    (``time1 < time2`` implies ``day1 <= day2``; equal times share a
+    day), so the pop sequence is exactly the heap's.
+
+    The width adapts: when a sampling window of bucket advances
+    observes mostly-singleton buckets (a sparse, timer-dominated
+    stretch — the regime where a calendar degenerates into a slower
+    heap), the width grows by ``_GROW`` and the future buckets are
+    rebuilt, which is safe at an advance point because the current
+    bucket is exhausted and no callback is mid-flight.  Widths never
+    shrink: an over-wide bucket degrades to one C ``sort`` over a
+    larger list, which measures faster than per-event heap sifts
+    anyway (see ``benchmarks/test_engine_timer_churn.py``).
+    """
+
+    kind = "calendar"
+
+    #: Default bucket width in simulated seconds — sized for the
+    #: microsecond-scale frame/CPU event density of contention sweeps.
+    DEFAULT_WIDTH = 32e-6
+    #: Width multiplication factor on a sparse-adaptation trigger.
+    _GROW = 16.0
+    #: Bucket advances per adaptation-sampling window.
+    _WINDOW = 512
+
+    def __init__(self, width: float = DEFAULT_WIDTH) -> None:
+        if width <= 0:
+            raise ValueError(f"bucket width must be > 0, got {width}")
+        super().__init__()
+        self._width = width
+        self._inv = 1.0 / width
+        #: day index -> unsorted list of records due that day.
+        self._buckets: dict[int, list[EventHandle]] = {}
+        #: Min-heap of day indices with (possibly stale) buckets.
+        self._days: list[int] = []
+        #: Records stored across ``_buckets`` (not ``_cur``).
+        self._bucket_total = 0
+        #: The day being drained: ascending records + consume index.
+        self._cur: list[EventHandle] = []
+        self._idx = 0
+        self._cur_day = -1
+        # Sparse-adaptation sampling state.
+        self._adv = 0
+        self._adv_events = 0
+
+    def push(
+        self, time: float, fn: Callable[..., None], args: tuple[Any, ...]
+    ) -> EventHandle:
+        self.seq = seq = self.seq + 1
+        record = _new_handle(EventHandle)
+        record.time = time
+        record.seq = seq
+        record.fn = fn
+        record.args = args
+        record.state = 0
+        record._queue = self
+        day = int(time * self._inv)
+        if day <= self._cur_day:
+            # Due within (or before the end of) the day being drained:
+            # ordered-insert into the live bucket.  Fired entries form
+            # a strictly smaller (time, seq) prefix, so the insertion
+            # point always lands at or beyond the consume index.
+            insort(self._cur, record, key=_time_seq)
+        else:
+            buckets = self._buckets
+            try:
+                buckets[day].append(record)
+            except KeyError:
+                buckets[day] = [record]
+                heappush(self._days, day)
+            self._bucket_total += 1
+        self.pending += 1
+        return record
+
+    def snapshot(self) -> list[tuple[float, int, EventHandle]]:
+        # Buckets hold bare records; synthesize the interchange tuples.
+        # ``_idx`` may lag the drain loop's local index mid-callback,
+        # so filter already-fired records out of the prefix.
+        records = [r for r in self._cur[self._idx:] if r.state != 2]
+        for bucket in self._buckets.values():
+            records.extend(bucket)
+        return [(r.time, r.seq, r) for r in records]
+
+    def _stored(self) -> int:
+        return self._bucket_total + len(self._cur) - self._idx
+
+    def _compact(self) -> None:
+        # Only the future buckets are filtered: the current bucket may
+        # be mid-drain (its list and index are loop locals), so its
+        # tombstones are left for the drain loop's lazy skip — they are
+        # bounded by one bucket.  Emptied buckets leave a stale day in
+        # the day heap; the advance loop skips those.
+        total = 0
+        for day, bucket in list(self._buckets.items()):
+            bucket[:] = [r for r in bucket if not r.state]
+            if bucket:
+                total += len(bucket)
+            else:
+                del self._buckets[day]
+        self._bucket_total = total
+        self._cancelled = sum(1 for r in self._cur if r.state == 1)
+
+    def _adopt(self, entries: list[tuple[float, int, EventHandle]]) -> None:
+        self._fill([e[2] for e in entries])
+
+    def _fill(self, records: list[EventHandle]) -> None:
+        buckets = self._buckets
+        inv = self._inv
+        for record in records:
+            day = int(record.time * inv)
+            bucket = buckets.get(day)
+            if bucket is None:
+                buckets[day] = [record]
+            else:
+                bucket.append(record)
+        self._days = list(buckets)
+        heapify(self._days)
+        self._bucket_total = len(records)
+
+    def _rebuild(self, width: float) -> None:
+        """Re-bucket every future entry under a new ``width``.
+
+        Only called at an advance point (current bucket exhausted, no
+        callback mid-flight), so the live bucket holds nothing unfired
+        and the whole future set can be re-hashed safely.
+        """
+        self._width = width
+        self._inv = 1.0 / width
+        records = []
+        for bucket in self._buckets.values():
+            records.extend(bucket)
+        self._buckets = {}
+        self._days = []
+        self._bucket_total = 0
+        self._cur = []
+        self._idx = 0
+        self._cur_day = -1
+        self._fill(records)
+
+    def _advance(self) -> list[EventHandle] | None:
+        """Swap the next non-empty day in as the current bucket.
+
+        Only called with the current bucket exhausted (every entry
+        fired or reaped), so this is also the one safe point for width
+        adaptation: no callback is mid-flight and every unfired entry
+        sits in ``_buckets``.
+        """
+        if self._adv >= self._WINDOW:
+            # Sparse-stretch adaptation: mostly-singleton buckets mean
+            # the width is far below the prevailing inter-event gap and
+            # every event pays a day-heap operation — grow the width.
+            if self._adv_events < 2 * self._adv:
+                self._rebuild(self._width * self._GROW)
+            self._adv = 0
+            self._adv_events = 0
+        days = self._days
+        buckets = self._buckets
+        while days:
+            day = days[0]
+            bucket = buckets.get(day)
+            if bucket is None:
+                heappop(days)  # stale: drained or compacted away
+                continue
+            heappop(days)
+            del buckets[day]
+            bucket.sort(key=_time_seq)
+            self._bucket_total -= len(bucket)
+            self._cur = bucket
+            self._idx = 0
+            self._cur_day = day
+            self._adv += 1
+            self._adv_events += len(bucket)
+            return bucket
+        return None
+
+    def drain(
+        self,
+        engine: "Engine",
+        until: float | None,
+        max_events: int | None,
+        stop_when: Callable[[], bool] | None,
+    ) -> float:
+        until_f = _INF if until is None else until
+        budget = _UNBOUNDED if max_events is None else max_events
+        executed = 0
+        events_before = engine.events_executed
+        pending = self.pending
+        cur = self._cur
+        idx = self._idx
+        try:
+            while True:
+                try:
+                    record = cur[idx]
+                except IndexError:
+                    # Bucket exhausted (the common exit: idx lands one
+                    # past the end, never further — cheaper than a
+                    # bounds check per event).
+                    nxt = self._advance()
+                    if nxt is None:
+                        if until is not None and until > engine._now:
+                            engine._now = until
+                        break
+                    cur = nxt
+                    idx = 0
+                    continue
+                if record.state:
+                    idx += 1
+                    self._cancelled -= 1
+                    continue
+                time = record.time
+                if time > until_f:
+                    engine._now = until
+                    break
+                idx += 1
+                if idx >= _TRIM:
+                    # Release fired entries of a long same-bucket
+                    # stretch; positions shift uniformly, so the
+                    # sorted invariant (and any insort from a
+                    # callback) is unaffected.
+                    del cur[:idx]
+                    idx = 0
+                    self._idx = 0
+                engine._now = time
+                record.state = 2
+                pending -= 1
+                self.pending = pending
+                executed += 1
+                # ``self._idx`` is NOT synced per event — it may lag
+                # the local ``idx`` during the callback (stale-low is
+                # conservative: ``_stored`` overestimates, deferring
+                # compaction; ``snapshot`` filters fired entries).
+                record.fn(*record.args)
+                # The callback may have scheduled or cancelled.  It
+                # cannot rebind ``_cur`` (only ``_advance``/``_rebuild``
+                # do, and neither runs mid-callback), so ``cur`` stays
+                # valid without a reload.
+                pending = self.pending
+                if executed >= budget:
+                    raise EventBudgetExceeded(
+                        f"simulation exceeded max_events={max_events} "
+                        f"at t={engine._now:.6f}s "
+                        f"(likely a protocol livelock)"
+                    )
+                if stop_when is not None and stop_when():
+                    break
+        finally:
+            self._idx = idx
+            engine.events_executed = events_before + executed
+        return engine._now
+
+
+#: Selectable event-queue kinds (``Engine(equeue=...)``).
+EQUEUES: dict[str, type[EventQueue]] = {
+    BinaryHeapQueue.kind: BinaryHeapQueue,
+    CalendarQueue.kind: CalendarQueue,
+}
+
+
+def make_equeue(spec: "str | EventQueue") -> EventQueue:
+    """Resolve an ``Engine(equeue=...)`` argument to a queue instance."""
+    if isinstance(spec, EventQueue):
+        return spec
+    try:
+        return EQUEUES[spec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown event queue {spec!r}; available: {sorted(EQUEUES)}"
+        ) from None

@@ -36,6 +36,10 @@ class SimProcess:
         self.cpu = FifoResource(engine, name=f"cpu.p{pid}")
         self.crashed = False
         self._crash_listeners: list[Callable[[], None]] = []
+        # Precomputed annotation, attached only when the engine is
+        # annotating — timers are a hot path and the metadata is only
+        # read by the explorer's scheduler.
+        self._timer_note = ("timer", pid)
 
     def schedule(
         self, delay: float, fn: Callable[..., None], *args: Any
@@ -46,17 +50,21 @@ class SimProcess:
         crash guard is what makes the crash-stop failure model airtight
         without every layer re-checking the flag.
         """
-        return self.engine.schedule(delay, self._guarded, fn, args).annotate(
-            ("timer", self.pid)
-        )
+        engine = self.engine
+        handle = engine.schedule(delay, self._guarded, fn, args)
+        if engine.annotating:
+            handle.info = self._timer_note
+        return handle
 
     def schedule_at(
         self, time: float, fn: Callable[..., None], *args: Any
     ) -> EventHandle:
         """Absolute-time variant of :meth:`schedule`."""
-        return self.engine.schedule_at(time, self._guarded, fn, args).annotate(
-            ("timer", self.pid)
-        )
+        engine = self.engine
+        handle = engine.schedule_at(time, self._guarded, fn, args)
+        if engine.annotating:
+            handle.info = self._timer_note
+        return handle
 
     def _guarded(self, fn: Callable[..., None], args: tuple[Any, ...]) -> None:
         if not self.crashed:

@@ -31,7 +31,9 @@ class FifoResource:
     which resource saturated first.
     """
 
-    __slots__ = ("engine", "name", "_free_at", "busy_time", "jobs_served")
+    __slots__ = (
+        "engine", "name", "_free_at", "busy_time", "jobs_served", "_note"
+    )
 
     def __init__(self, engine: Engine, name: str) -> None:
         self.engine = engine
@@ -41,6 +43,10 @@ class FifoResource:
         self.busy_time = 0.0
         #: Number of jobs completed or in progress.
         self.jobs_served = 0
+        # Precomputed annotation for completion events, attached only
+        # when the engine is annotating (resource grants are a hot
+        # path; only the explorer reads the metadata).
+        self._note = ("resource", name)
 
     def occupy(
         self,
@@ -56,15 +62,19 @@ class FifoResource:
         """
         if duration < 0:
             raise ValueError(f"job duration must be >= 0, got {duration}")
-        start = max(self.engine.now, self._free_at)
+        engine = self.engine
+        start = self._free_at
+        now = engine._now
+        if now > start:
+            start = now
         finish = start + duration
         self._free_at = finish
         self.busy_time += duration
         self.jobs_served += 1
         if then is not None:
-            self.engine.schedule_at(finish, then, *args).annotate(
-                ("resource", self.name)
-            )
+            handle = engine.schedule_at(finish, then, *args)
+            if engine.annotating:
+                handle.info = self._note
         return finish
 
     @property

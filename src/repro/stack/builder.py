@@ -260,9 +260,14 @@ def build_system(
     partitions = partitions or PartitionSchedule.none()
     partitions.validate_against(config)
 
-    engine = Engine()
     if trace is None:
         trace = Trace()
+    # A full Trace implies someone will inspect events (checkers,
+    # scenario queries, the explorer — which installs its Scheduler
+    # only after building): keep scheduler-visible event annotations
+    # on from the first wiring-time schedule.  Metrics-only observers
+    # skip annotation work entirely (see Engine.annotating).
+    engine = Engine(annotating=isinstance(trace, Trace))
     rngs = RngRegistry(seed=spec.seed)
 
     network = layers.NETWORKS.get(spec.network).factory(spec, engine, rngs)

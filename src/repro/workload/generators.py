@@ -74,6 +74,10 @@ class SymmetricWorkload:
         self.arrivals = arrivals
         #: Number of abroadcasts issued so far.
         self.sent = 0
+        # Per-pid stream cache: ``rngs.stream`` memoizes by name, so
+        # holding the object skips the f-string build + registry lookup
+        # on every chained re-arm without changing a single draw.
+        self._streams: dict["ProcessId", object] = {}
 
     def install(self) -> int:
         """Arm one chained send timer per process; returns chains armed.
@@ -86,7 +90,9 @@ class SymmetricWorkload:
         per_process_rate = self.throughput / n
         armed = 0
         for pid in self.system.config.processes:
-            rng = self.system.rngs.stream(f"workload.p{pid}")
+            rng = self._streams[pid] = self.system.rngs.stream(
+                f"workload.p{pid}"
+            )
             if self.arrivals == "poisson":
                 first = self.start + rng.expovariate(per_process_rate)
                 interval = None
@@ -119,8 +125,7 @@ class SymmetricWorkload:
         self.system.abcasts[pid].abroadcast(make_payload(self.payload_size))
         self.sent += 1
         if interval is None:
-            rng = self.system.rngs.stream(f"workload.p{pid}")
-            next_time = time + rng.expovariate(rate)
+            next_time = time + self._streams[pid].expovariate(rate)
         else:
             next_time = time + interval
         if next_time < self.end:
@@ -185,6 +190,10 @@ class ClosedLoopWorkload:
         self.sent = 0
         #: Outstanding message id per client (None = thinking).
         self._waiting: dict["ProcessId", object] = {}
+        # Same per-pid stream cache as SymmetricWorkload: think times
+        # are drawn twice per round trip, and the streams are memoized
+        # by name, so the cached object yields identical draws.
+        self._streams: dict["ProcessId", object] = {}
 
     def install(self) -> int:
         """Arm one client per process; returns the number of clients."""
@@ -202,7 +211,11 @@ class ClosedLoopWorkload:
 
     def _think_time(self, pid: "ProcessId") -> float:
         rate = self.throughput / self.system.config.n
-        rng = self.system.rngs.stream(f"workload.p{pid}")
+        rng = self._streams.get(pid)
+        if rng is None:
+            rng = self._streams[pid] = self.system.rngs.stream(
+                f"workload.p{pid}"
+            )
         if self.arrivals == "poisson":
             return rng.expovariate(rate)
         return 1.0 / rate

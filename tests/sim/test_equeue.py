@@ -1,0 +1,265 @@
+"""Equivalence and stress tests for the pluggable event queues.
+
+The calendar queue is only admissible as the default because it is
+bit-identical to the reference binary heap: same pop order, same clock
+advancement, same ``pending`` accounting.  These tests drive both
+implementations through adversarial schedules — bucket-boundary ties,
+same-tick bursts, far-future timers, mid-run cancellations, pushes
+from inside callbacks — and assert the sequences match exactly.  The
+random cases are seeded (deterministic), not property-framework based.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Engine, Scheduler
+from repro.sim.equeue import (
+    EQUEUES,
+    BinaryHeapQueue,
+    CalendarQueue,
+    EventQueue,
+    make_equeue,
+)
+
+WIDTH = CalendarQueue.DEFAULT_WIDTH
+
+
+def drive(engine: Engine, seed: int, initial: int = 60) -> list[tuple]:
+    """Run a seeded adversarial workload; return the firing log.
+
+    Callbacks re-schedule with deltas drawn to stress every queue edge:
+    zero delays (same-tick bursts), exact bucket-width multiples
+    (boundary ties), sub-width dense gaps, and far-future jumps.  Some
+    callbacks cancel a random pending handle.  Both engines replay the
+    same seed; identical logs mean identical execution order (any
+    ordering bug desynchronises the RNG draws and shows up loudly).
+    """
+    rng = random.Random(seed)
+    log: list[tuple] = []
+    handles: list = []
+    counter = [0]
+
+    def deltas():
+        roll = rng.random()
+        if roll < 0.25:
+            return 0.0                                  # same-tick burst
+        if roll < 0.45:
+            return WIDTH * rng.randint(1, 4)            # boundary ties
+        if roll < 0.65:
+            return rng.uniform(0.0, WIDTH)              # dense, sub-bucket
+        if roll < 0.85:
+            return rng.uniform(0.0, 50 * WIDTH)
+        return rng.uniform(0.5, 2.0)                    # far-future timer
+
+    def fire(label):
+        log.append((round(engine.now, 12), label))
+        for _ in range(rng.randint(0, 2)):
+            counter[0] += 1
+            handles.append(
+                engine.schedule(deltas(), fire, counter[0])
+            )
+        if handles and rng.random() < 0.2:
+            victim = handles.pop(rng.randrange(len(handles)))
+            victim.cancel()
+
+    for i in range(initial):
+        counter[0] += 1
+        handles.append(engine.schedule_at(deltas(), fire, counter[0]))
+    engine.run(until=5.0, max_events=200_000)
+    return log
+
+
+class TestHeapCalendarEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_adversarial_schedules_fire_identically(self, seed):
+        log_heap = drive(Engine(equeue="heap"), seed)
+        log_cal = drive(Engine(equeue="calendar"), seed)
+        assert log_heap == log_cal
+        assert len(log_heap) > 100  # the workload actually ran
+
+    @pytest.mark.parametrize("width", [1e-7, WIDTH, 1e-3, 10.0])
+    def test_equivalence_is_width_independent(self, width):
+        log_heap = drive(Engine(equeue="heap"), seed=99)
+        log_cal = drive(Engine(equeue=CalendarQueue(width=width)), seed=99)
+        assert log_heap == log_cal
+
+    def test_exact_tie_fifo_order(self):
+        """Ties — including across a bucket boundary value — fire in
+        scheduling order, on both queues."""
+        times = [3 * WIDTH, 0.0, 3 * WIDTH, WIDTH, 3 * WIDTH, 0.0, 7.0, WIDTH]
+        for kind in EQUEUES:
+            engine = Engine(equeue=kind)
+            fired = []
+            for i, t in enumerate(times):
+                engine.schedule_at(t, fired.append, (t, i))
+            engine.run_until_idle()
+            assert fired == sorted(
+                ((t, i) for i, t in enumerate(times))
+            ), f"wrong tie order on {kind!r}"
+
+    def test_pending_and_now_agree(self):
+        engines = {kind: Engine(equeue=kind) for kind in EQUEUES}
+        for engine in engines.values():
+            for i in range(50):
+                engine.schedule_at(i * 0.37 * WIDTH, lambda: None)
+            engine.run(until=8 * WIDTH)
+        nows = {e.now for e in engines.values()}
+        pendings = {e.pending() for e in engines.values()}
+        counts = {e.events_executed for e in engines.values()}
+        assert len(nows) == len(pendings) == len(counts) == 1
+
+
+class TestSparseAdaptation:
+    def test_long_sparse_timer_chain_loses_nothing(self):
+        """>WINDOW singleton buckets trigger the width rebuild; every
+        event must survive it (regression: the rebuild used to drop the
+        bucket being swapped in)."""
+        engine = Engine(equeue="calendar")
+        fired = []
+        n = 3 * CalendarQueue._WINDOW
+        for i in range(n):
+            # ~31 bucket-widths apart: every bucket is a singleton.
+            engine.schedule_at(i * 1e-3, fired.append, i)
+        engine.run_until_idle()
+        assert fired == list(range(n))
+        assert engine.pending() == 0
+        queue = engine.equeue
+        assert queue._width > CalendarQueue.DEFAULT_WIDTH  # it adapted
+
+    def test_mixed_sparse_then_dense(self):
+        log_heap = []
+        log_cal = []
+        for kind, log in (("heap", log_heap), ("calendar", log_cal)):
+            engine = Engine(equeue=kind)
+
+            def burst(t, log=log, engine=engine):
+                log.append(round(engine.now, 12))
+                for k in range(5):
+                    engine.schedule(k * (WIDTH / 7), log.append, engine.now)
+
+            for i in range(1200):
+                engine.schedule_at(i * 2e-3, burst, i)
+            engine.run_until_idle()
+        assert log_heap == log_cal
+
+
+class TestCancellationAndCompaction:
+    @pytest.mark.parametrize("kind", sorted(EQUEUES))
+    def test_mass_cancel_compacts_storage(self, kind):
+        engine = Engine(equeue=kind)
+        keep = []
+        handles = [
+            engine.schedule_at(i * WIDTH / 3, keep.append, i)
+            for i in range(10_000)
+        ]
+        for h in handles[:9_000]:
+            h.cancel()
+        assert engine.pending() == 1_000
+        # Tombstones must not linger once they dominate: storage shrank
+        # well below the 10k scheduled.
+        assert engine.equeue._stored() < 2_500
+        engine.run_until_idle()
+        assert keep == list(range(9_000, 10_000))
+        assert engine.pending() == 0
+
+    @pytest.mark.parametrize("kind", sorted(EQUEUES))
+    def test_cancel_from_inside_callback_mid_drain(self, kind):
+        engine = Engine(equeue=kind)
+        fired = []
+        handles = []
+
+        def killer():
+            fired.append("killer")
+            # Cancel enough pending events to cross the compaction
+            # threshold while the drain loop is live.
+            for h in handles:
+                h.cancel()
+
+        engine.schedule_at(0.0, killer)
+        handles.extend(
+            engine.schedule_at(WIDTH * (1 + i % 5), fired.append, i)
+            for i in range(500)
+        )
+        survivor = engine.schedule_at(WIDTH * 10, fired.append, "survivor")
+        engine.run_until_idle()
+        assert fired == ["killer", "survivor"]
+        assert engine.pending() == 0
+        assert not survivor.cancelled and survivor.finished
+
+    def test_pending_is_o1_counter(self):
+        # Not a timing assertion: just that pending() answers without
+        # touching storage internals (monkeypatch snapshot to explode).
+        engine = Engine()
+        for i in range(100):
+            engine.schedule(i * 1e-3, lambda: None)
+        engine.equeue.snapshot = None  # any scan would raise
+        assert engine.pending() == 100
+
+
+class TestMigration:
+    def test_install_scheduler_migrates_to_heap_and_back(self):
+        engine = Engine()
+        assert engine.equeue.kind == "calendar"
+        fired = []
+        for i in range(20):
+            engine.schedule_at(i * 0.4 * WIDTH, fired.append, i)
+        engine.schedule_at(0.2 * WIDTH, fired.append, "tie-breaker")
+        engine.install_scheduler(Scheduler())
+        assert engine.equeue.kind == "heap"
+        assert engine.pending() == 21
+        engine.install_scheduler(None)
+        assert engine.equeue.kind == "calendar"
+        engine.run_until_idle()
+        assert fired == [0, "tie-breaker"] + list(range(1, 20))
+
+    def test_migration_carries_seq_so_later_ties_stay_fifo(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(WIDTH, fired.append, "pre")
+        engine.install_scheduler(Scheduler())
+        engine.schedule_at(WIDTH, fired.append, "post")  # same-time tie
+        engine.run_until_idle()
+        assert fired == ["pre", "post"]
+
+    def test_controlled_run_on_calendar_built_engine(self):
+        engine = Engine(equeue="calendar")
+        fired = []
+        for i in range(30):
+            engine.schedule_at((i % 6) * WIDTH, fired.append, i)
+        engine.install_scheduler(Scheduler())  # always (FIRE, 0)
+        engine.run_until_idle()
+        reference = sorted(range(30), key=lambda i: ((i % 6), i))
+        assert fired == reference
+
+
+class TestRegistry:
+    def test_kinds(self):
+        assert set(EQUEUES) == {"heap", "calendar"}
+        assert isinstance(make_equeue("heap"), BinaryHeapQueue)
+        assert isinstance(make_equeue("calendar"), CalendarQueue)
+
+    def test_instance_passthrough(self):
+        queue = CalendarQueue(width=1e-3)
+        assert make_equeue(queue) is queue
+        assert Engine(equeue=queue).equeue is queue
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown event queue"):
+            make_equeue("fibonacci")
+
+    def test_bad_width_raises(self):
+        with pytest.raises(ValueError, match="width"):
+            CalendarQueue(width=0.0)
+
+    def test_abstract_interface(self):
+        base = EventQueue()
+        for call in (
+            lambda: base.push(0.0, print, ()),
+            lambda: base.drain(None, None, None, None),
+            base.snapshot,
+            base._stored,
+            base._compact,
+        ):
+            with pytest.raises(NotImplementedError):
+                call()
