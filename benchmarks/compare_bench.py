@@ -51,15 +51,34 @@ def _load(path: Path) -> dict:
 
 
 def compare(snapshot: dict, baseline: dict, fail_ratio: float) -> int:
-    """Print the comparison table; return the number of hard failures."""
-    new = snapshot["benchmarks"]
-    old = baseline["benchmarks"]
+    """Print the comparison table; return the number of hard failures.
+
+    Snapshot/ledger asymmetries are expected across PRs — a snapshot
+    taken mid-stack carries benchmarks the ledger predates, and ledgers
+    keep entries for benchmarks a later PR renamed or retired.  Every
+    asymmetry (one-sided entries, entries without a usable ``mean_s``)
+    is reported and skipped; only a shared, well-formed pair can fail
+    the run.
+    """
+    new = snapshot.get("benchmarks") or {}
+    old = baseline.get("benchmarks") or {}
+    if not new:
+        print("warning: snapshot has no 'benchmarks' table; nothing to compare")
+    if not old:
+        print("warning: ledger has no 'benchmarks' table; nothing to compare")
     shared = [name for name in new if name in old]
-    missing = [name for name in old if name not in new]
-    warns = fails = 0
+    only_old = [name for name in old if name not in new]
+    only_new = [name for name in new if name not in old]
+    warns = fails = compared = 0
     for name in shared:
-        new_mean = new[name]["mean_s"]
-        old_mean = old[name]["mean_s"]
+        short = name.split("::")[-1]
+        new_mean = _mean(new[name])
+        old_mean = _mean(old[name])
+        if new_mean is None or old_mean is None:
+            side = "snapshot" if new_mean is None else "ledger"
+            print(f"{short}: no usable mean_s in {side} entry (skipped)")
+            continue
+        compared += 1
         ratio = new_mean / old_mean if old_mean else float("inf")
         flag = ""
         if ratio > fail_ratio:
@@ -68,18 +87,30 @@ def compare(snapshot: dict, baseline: dict, fail_ratio: float) -> int:
         elif ratio > WARN_RATIO:
             flag = "  << warn"
             warns += 1
-        short = name.split("::")[-1]
         print(
             f"{short}: {old_mean:.6f}s -> {new_mean:.6f}s "
             f"({ratio:.2f}x){flag}"
         )
-    for name in missing:
-        print(f"{name.split('::')[-1]}: not in snapshot (skipped)")
+    for name in only_old:
+        print(f"{name.split('::')[-1]}: in ledger only (skipped)")
+    for name in only_new:
+        print(f"{name.split('::')[-1]}: new in snapshot, no ledger entry yet")
     print(
-        f"compared {len(shared)} benchmarks: "
-        f"{fails} failed, {warns} warned"
+        f"compared {compared} benchmarks: "
+        f"{fails} failed, {warns} warned, "
+        f"{len(only_old) + len(only_new) + len(shared) - compared} skipped"
     )
     return fails
+
+
+def _mean(entry: object) -> float | None:
+    """``entry["mean_s"]`` as a float, or ``None`` when absent/unusable."""
+    if not isinstance(entry, dict):
+        return None
+    mean = entry.get("mean_s")
+    if isinstance(mean, (int, float)) and not isinstance(mean, bool):
+        return float(mean)
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:

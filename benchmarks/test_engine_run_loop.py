@@ -22,11 +22,17 @@ container each PR was written on (CPython, pre-scheduled flat queue of
 
 ``benchmark.extra_info["ns_per_event"]`` records the figure for the
 machine the suite runs on, for the default (calendar) queue, the
-reference heap queue, and the *controlled* loop (a default installed
-scheduler, which also migrates the engine onto the heap).  The
-controlled case keeps the seam's overhead honest: ready-set collection
-plus one ``decide`` call per event is why the seam is opt-in and the
-scheduler-free hot path stays untouched.
+reference heap queue, and two *controlled* cases.  Since the PR 7
+batched-loop work the engine recognises a **pure default** scheduler
+(neither ``decide`` nor ``wants`` overridden) and runs it on the
+scheduler-free calendar drain — no heap migration, near-zero seam tax
+— so ``test_controlled_loop_ns_per_event`` now tracks that delegation.
+``test_controlled_singleton_ns_per_event`` measures the real heap
+controlled loop with the singleton ``wants`` fast path (what
+``ExploreScheduler`` pays on the vast majority of its steps): ready
+sets of one fire without list construction or a ``decide`` call.
+Equivalence with the fast paths disabled is pinned by
+``tests/explore/test_fast_path.py``.
 
 Scheduling cost is **included** in the measured drain: `_prefill` runs
 inside the timed callable, so the figure is (push + pop + dispatch)
@@ -67,7 +73,25 @@ def _drain_default() -> int:
 
 def _drain_controlled() -> int:
     engine = Engine()
-    engine.install_scheduler(Scheduler())  # always (FIRE, 0): same order
+    engine.install_scheduler(Scheduler())  # pure default: calendar drain
+    _prefill(engine)
+    engine.run_until_idle(max_events=EVENTS + 1)
+    return engine.events_executed
+
+
+class _SingletonFastPath(Scheduler):
+    """Overrides ``wants`` (never applicable): the engine migrates to
+    the heap and runs the real controlled loop, but every singleton
+    ready set fires without a ``decide`` consultation — the
+    ``ExploreScheduler`` steady state on a no-deviation schedule."""
+
+    def wants(self, ready) -> bool:
+        return False
+
+
+def _drain_controlled_singleton() -> int:
+    engine = Engine()
+    engine.install_scheduler(_SingletonFastPath())
     _prefill(engine)
     engine.run_until_idle(max_events=EVENTS + 1)
     return engine.events_executed
@@ -94,7 +118,15 @@ def test_run_loop_ns_per_event_heap(benchmark):
 
 
 def test_controlled_loop_ns_per_event(benchmark):
+    """Installed pure-default scheduler: the drain-delegation path."""
     executed = benchmark(_drain_controlled)
+    assert executed == EVENTS
+    _note_ns(benchmark)
+
+
+def test_controlled_singleton_ns_per_event(benchmark):
+    """The heap controlled loop under the singleton ``wants`` skip."""
+    executed = benchmark(_drain_controlled_singleton)
     assert executed == EVENTS
     _note_ns(benchmark)
 

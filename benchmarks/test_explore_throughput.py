@@ -1,0 +1,82 @@
+"""Macro-benchmark: schedules/sec on the Section 2.2 bug hunt.
+
+The explorer's cost model is *schedules executed per second*: a bounded
+search is thousands of full re-executions of the same small simulation,
+each one paying (a) a fresh ``build_system``, (b) the controlled run
+loop's per-step scheduler consultation, and (c) a per-step state
+fingerprint for pruning.  PR 7 attacks (b) with the singleton fast path
+(``Scheduler.wants``) and (c) with the incremental rolling-hash
+fingerprint, so this figure is the ledger entry those changes answer
+to (``BENCH_pr7.json``; the pre-change figure, measured on the same
+container right before the overhaul, is recorded in ``extra_info`` as
+``baseline_schedules_per_sec``).
+
+Two shapes are measured:
+
+* the *pruned search* — the default delay-bounded strategy with menus
+  and fingerprints on, a fixed budget, no early stop: the steady-state
+  cost of the CI exploration matrix;
+* the *replay path* — menus and fingerprints off, the shape shrinking
+  and ``--replay`` pay per schedule.
+"""
+
+from __future__ import annotations
+
+from repro.explore import ScheduleExecutor, explore_spec
+from repro.explore.strategies import run_strategy
+
+#: Schedules per timed round of the search benchmark.  Small enough to
+#: keep the bench-smoke job quick, large enough that per-round setup
+#: (one root execution, strategy bookkeeping) is noise.
+BUDGET = 120
+
+#: The pre-PR-7 figures on the reference container (schedules/sec),
+#: committed so the ledger shows the ratio even though this file did
+#: not exist when BENCH_pr6.json was recorded.
+BASELINE_SCHEDULES_PER_SEC = 142.2   # pruned search
+BASELINE_REPLAY_PER_SEC = 951.3      # menus/fingerprints-off replay
+
+
+def _hunt_spec(**overrides):
+    # The Section 2.2 hunt: faulty-ids at n=3, constant latency,
+    # drop-in-flight — the configuration the CI smoke matrix runs.
+    overrides.setdefault("budget", BUDGET)
+    overrides.setdefault("stop_after", 0)  # fixed work: never stop early
+    return explore_spec("faulty", **overrides)
+
+
+def _search() -> int:
+    result = run_strategy(_hunt_spec())
+    assert result.schedules == BUDGET, result.schedules
+    assert result.violations, "the hunt must keep finding the 2.2 bug"
+    return result.schedules
+
+
+def _replays() -> int:
+    executor = ScheduleExecutor(_hunt_spec())
+    for _ in range(30):
+        record = executor.run((), menus=False, fingerprints=False)
+        assert not record.diverged
+    return 30
+
+
+def test_explore_schedules_per_sec(benchmark):
+    """The pruned delay-bounded search (menus + fingerprints on)."""
+    schedules = benchmark(_search)
+    benchmark.extra_info["schedules_per_sec"] = round(
+        schedules / benchmark.stats.stats.mean, 1
+    )
+    benchmark.extra_info["baseline_schedules_per_sec"] = (
+        BASELINE_SCHEDULES_PER_SEC
+    )
+
+
+def test_explore_replay_schedules_per_sec(benchmark):
+    """The shrink/replay execution shape (menus + fingerprints off)."""
+    schedules = benchmark(_replays)
+    benchmark.extra_info["schedules_per_sec"] = round(
+        schedules / benchmark.stats.stats.mean, 1
+    )
+    benchmark.extra_info["baseline_schedules_per_sec"] = (
+        BASELINE_REPLAY_PER_SEC
+    )

@@ -85,6 +85,12 @@ class ExploreSpec:
         seed: Seed of the ``explore.random-walk`` stream (random-walk
             strategy only).
         max_events: Per-schedule engine runaway guard.
+        fingerprint_check: Validate the incremental fingerprint
+            tracker against a from-scratch recompute at every decision
+            step (see
+            :class:`~repro.explore.fingerprint.FingerprintTracker`).
+            A debug harness — orders of magnitude slower; also
+            switchable globally via ``REPRO_FP_CHECK=1``.
         label: Presentation-only label (defaults to ``name``).
     """
 
@@ -103,6 +109,7 @@ class ExploreSpec:
     consensus_checks: bool | None = None
     seed: int = 0
     max_events: int = 500_000
+    fingerprint_check: bool = False
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -225,6 +232,7 @@ class ScheduleExecutor:
             fingerprints=(
                 menus and spec.prune if fingerprints is None else fingerprints
             ),
+            fingerprint_check=spec.fingerprint_check,
         )
         system.engine.install_scheduler(scheduler)
         for pid, at, size in spec.sends:

@@ -5,9 +5,11 @@ with its configured strategy, shrinks every violating schedule it finds
 and verifies the shrunk repro replays to the same verdict.  With
 ``jobs > 1`` the decision-prefix frontier — the canonical one-deviation
 children of the default schedule — is partitioned round-robin across
-the PR-1 multiprocessing pool (:func:`repro.harness.runner.parallel_map`)
-and each worker completes its share of the subtree with its share of
-the budget; the random-walk strategy shards by stream name instead.
+the persistent worker pool (:func:`repro.harness.runner.parallel_map`;
+workers are reused across calls, so back-to-back explorations skip the
+per-call pool spawn) and each worker completes its share of the subtree
+with its share of the budget; the random-walk strategy shards by stream
+name instead.
 
 Outcomes flow into the existing results pipeline through
 :func:`outcomes_result_set`, so ``render_resultset`` gives the CLI its

@@ -39,13 +39,19 @@ Deviation vocabulary and canonical form:
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.core.exceptions import ConfigurationError
+from repro.explore.fingerprint import (
+    FingerprintTracker,
+    _describe_callable,
+    _describe_value,
+    describe_record,
+    fingerprint_state,
+)
 from repro.net.frame import Frame
-from repro.sim.engine import AGAIN, DEFER, FIRE, Scheduler, _EventRecord
+from repro.sim.engine import AGAIN, DEFER, FIRE, Engine, Scheduler, _EventRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.stack.builder import System
@@ -139,120 +145,11 @@ class Menu:
 # ----------------------------------------------------------------------
 # State fingerprints
 # ----------------------------------------------------------------------
-
-
-def _describe_value(value: Any) -> Any:
-    """Canonical, schedule-invariant description of a payload value.
-
-    ``Frame.seq`` is deliberately excluded (it is a global diagnostic
-    counter: two frames carrying the same protocol content in two
-    different interleavings must describe identically), and unordered
-    collections are sorted.
-    """
-    if isinstance(value, Frame):
-        return (
-            "frame",
-            value.src,
-            value.dst,
-            value.kind,
-            bool(value.control),
-            value.size,
-            _describe_value(value.body),
-        )
-    if isinstance(value, (frozenset, set)):
-        return ("set",) + tuple(
-            sorted((repr(_describe_value(v)) for v in value))
-        )
-    if isinstance(value, (tuple, list)):
-        return tuple(_describe_value(v) for v in value)
-    if isinstance(value, dict):
-        return tuple(
-            (repr(_describe_value(k)), _describe_value(v))
-            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
-        )
-    if value is None or isinstance(value, (int, float, str, bool, bytes)):
-        return value
-    # Frozen dataclasses (MessageId, AppMessage, Payload, rules...) have
-    # deterministic reprs; anything else falls back to its type name so
-    # the fingerprint never embeds an ``object.__repr__`` address.
-    if hasattr(value, "__dataclass_fields__"):
-        return repr(value)
-    return type(value).__qualname__
-
-
-def _describe_callable(fn: Any) -> str:
-    name = getattr(fn, "__qualname__", None) or type(fn).__qualname__
-    owner = getattr(fn, "__self__", None)
-    pid = getattr(owner, "pid", None)
-    if pid is None and owner is not None:
-        process = getattr(owner, "process", None)
-        pid = getattr(process, "pid", None)
-    return f"{name}@p{pid}" if pid is not None else name
-
-
-def describe_record(record: _EventRecord, blocked: bool = False) -> tuple:
-    """Canonical description of one pending event (for fingerprints)."""
-    fn, args = record.fn, record.args
-    # Unwrap SimProcess._guarded(fn, args) so timer descriptions name
-    # the protocol callback, not the guard.
-    if _describe_callable(fn).startswith("SimProcess._guarded") and len(args) == 2:
-        fn, args = args[0], args[1]
-    return (
-        "blocked" if blocked else repr(record.time),
-        _describe_callable(fn),
-        _describe_value(tuple(args)),
-        _describe_value(getattr(record, "info", None)),
-    )
-
-
-def fingerprint_state(
-    system: "System", ready: Iterable[_EventRecord] = ()
-) -> str:
-    """Hash of the simulation's scheduler-visible state.
-
-    Covers the live pending-event set (heap, the current ready set —
-    which the controlled loop holds off-heap while it consults the
-    scheduler — and deferred events, canonically described and
-    order-insensitively sorted), the crash record, and every process's
-    adelivery sequence.  Protocol layers hold internal state (round
-    numbers, ack counters, received stores) the fingerprint cannot
-    see, so matching fingerprints do **not** guarantee identical
-    futures: pruning on them is a *symmetry heuristic* aimed at
-    reorderings of independent events — which do converge to genuinely
-    identical global states — and may in principle also collapse
-    prefixes that differ only in hidden layer state, under-exploring
-    the space.  An ``exhausted`` search result is therefore
-    "exhausted modulo fingerprint equivalence", not a proof; disable
-    ``ExploreSpec.prune`` for the strictly-complete (and much slower)
-    enumeration.
-    """
-    engine = system.engine
-    pending = sorted(
-        [
-            repr(describe_record(record))
-            for _, _, record in engine.pending_entries()
-            if not record.cancelled
-        ]
-        + [
-            repr(describe_record(record))
-            for record in ready
-            if not record.cancelled
-        ]
-    )
-    blocked = [
-        repr(describe_record(record, blocked=True))
-        for record in engine._blocked
-        if not record.cancelled
-    ]
-    crashed = sorted(
-        pid for pid, p in system.processes.items() if p.crashed
-    )
-    delivered = [
-        (pid, tuple(map(repr, system.trace.adelivery_sequence(pid))))
-        for pid in sorted(system.processes)
-    ]
-    blob = repr((pending, blocked, crashed, delivered))
-    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+#
+# The canonical description machinery and both fingerprint
+# implementations (the full recompute and the incremental tracker) live
+# in :mod:`repro.explore.fingerprint`; re-exported here because this
+# module has always been their public import path.
 
 
 # ----------------------------------------------------------------------
@@ -275,7 +172,14 @@ class ExploreScheduler(Scheduler):
             :class:`repro.sim.engine.Scheduler.defer_delay`): how long
             a deferred frame is held back.
         fingerprints: Record a state fingerprint per menu (strategies
-            need them for pruning; replay can skip the cost).
+            need them for pruning; replay can skip the cost).  Served
+            by the incremental
+            :class:`~repro.explore.fingerprint.FingerprintTracker`,
+            installed as the queue observer for the run's duration.
+        fingerprint_check: Validate the incremental fingerprint state
+            against a from-scratch recompute at every step (also
+            enabled globally by ``REPRO_FP_CHECK=1``) — the debug
+            harness, far too slow for real searches.
 
     A deviation that does not apply at its step — index beyond the
     ready set, pid not crashable, defer of a non-deferrable event — is
@@ -293,6 +197,7 @@ class ExploreScheduler(Scheduler):
         defer_data_only: bool = True,
         defer_delay: float | None = 5e-3,
         fingerprints: bool = True,
+        fingerprint_check: bool = False,
     ) -> None:
         if not isinstance(deviations, Mapping):
             listed = tuple(deviations)
@@ -307,6 +212,10 @@ class ExploreScheduler(Scheduler):
         self.defer_data_only = defer_data_only
         self.defer_delay = defer_delay
         self.fingerprints = fingerprints
+        self.fingerprint_check = fingerprint_check
+        #: The incremental fingerprint tracker of the current run
+        #: (created in ``begin_run`` when fingerprints are on).
+        self._tracker: FingerprintTracker | None = None
         #: Per-step menus, in step order.
         self.menus: list[Menu] = []
         #: Deviations actually applied (same objects as scheduled).
@@ -376,20 +285,70 @@ class ExploreScheduler(Scheduler):
 
     # -- the seam ------------------------------------------------------
 
+    def begin_run(self, engine: Engine) -> None:
+        if self.fingerprints:
+            self._tracker = FingerprintTracker(
+                self.system, check=self.fingerprint_check
+            )
+            self._tracker.attach(engine)
+
+    def end_run(self, engine: Engine) -> None:
+        if self._tracker is not None:
+            self._tracker.detach(engine)
+            self._tracker = None
+
+    def wants(self, ready: tuple[_EventRecord, ...]) -> bool:
+        """Singleton fast path: take the default decision without
+        ``decide``'s ready-list machinery — but with *identical*
+        bookkeeping, so step numbers, menus, fingerprints, the
+        canonical deferrability set and the crash-placement context all
+        match a consultation that answered ``(FIRE, 0)`` bit for bit
+        (replayed repro strings must mean the same schedule either
+        way; pinned by ``tests/explore/test_fast_path.py``).
+        """
+        step = self.steps
+        if self.deviations.get(step) is not None:
+            return True  # a deviation may apply here: consult decide()
+        self.steps = step + 1
+        record = ready[0]
+        tracker = self._tracker
+        self.menus.append(Menu(
+            step=step,
+            ready=1,
+            deferrable=self._deferrable(ready),
+            crashable=self._crashable(),
+            fingerprint=(
+                None
+                if not self.fingerprints
+                # During wants() the record is still on-heap, so the
+                # full-recompute fallback must not add it again.
+                else tracker.fingerprint(ready)
+                if tracker is not None
+                else fingerprint_state(self.system, ())
+            ),
+        ))
+        if isinstance(getattr(record, "info", None), Frame):
+            self._seen_frames.add(record)
+        self._crash_context = self._pids_of(record)
+        return False
+
     def decide(self, now: float, ready: list[_EventRecord]) -> tuple[str, int]:
         step = self.steps
         self.steps += 1
         deferrable = self._deferrable(ready)
         crashable = self._crashable()
+        tracker = self._tracker
         self.menus.append(Menu(
             step=step,
             ready=len(ready),
             deferrable=deferrable,
             crashable=crashable,
             fingerprint=(
-                fingerprint_state(self.system, ready)
-                if self.fingerprints
-                else None
+                None
+                if not self.fingerprints
+                else tracker.fingerprint(ready)
+                if tracker is not None
+                else fingerprint_state(self.system, ready)
             ),
         ))
 

@@ -29,7 +29,12 @@ family):
 Tree strategies prune on state fingerprints: a prefix whose fingerprint
 an earlier schedule reached with an equal-or-larger remaining deviation
 budget is not expanded again (symmetric interleavings of independent
-events all converge to the same fingerprint).  Children are generated
+events all converge to the same fingerprint).  The fingerprints are
+maintained incrementally by the scheduler's
+:class:`~repro.explore.fingerprint.FingerprintTracker` — O(changed
+events) per decision step instead of a full pending-set walk — which is
+most of what makes the pruned search's schedules/sec figure
+(``benchmarks/test_explore_throughput.py``).  Children are generated
 defers first, then crashes, then tie reorders — message loss through
 crash-with-in-flight-data is the historically productive direction, so
 it gets the head of the queue.

@@ -30,12 +30,31 @@ Two run loops exist:
   simulation (inject a crash) and be asked again.  This is the
   decision-point seam the systematic schedule exploration of
   :mod:`repro.explore` drives.  The controlled loop manipulates binary
-  heap entries directly, so installing a scheduler automatically
+  heap entries directly, so a scheduler that can actually be consulted
   migrates the engine onto the heap queue (and removing it migrates
   back); entries keep their ``(time, seq)`` keys across a migration,
   so the schedule is unaffected.  With no scheduler installed none of
   this runs and traces are bit-identical to the pre-seam engine
   (golden-guarded by ``tests/stack/test_golden_traces.py``).
+
+Two fast paths keep the controlled loop's overhead proportional to the
+decisions actually taken (toggle: :data:`CONTROLLED_FAST_PATH`; the
+equivalence is pinned by ``tests/explore/test_fast_path.py``):
+
+* a **pure default scheduler** — neither ``decide`` nor ``wants``
+  overridden — can never answer anything but ``(FIRE, 0)``, so ``run``
+  delegates straight to the storage's own drain loop (no heap
+  migration, no per-event consultation); the only observable
+  difference from an uncontrolled run is that annotations are on and
+  the ``begin_run``/``end_run`` hooks fire.
+* for consultable schedulers, a **singleton ready set** (nothing tied
+  with the head event) is first offered to :meth:`Scheduler.wants`; a
+  ``False`` answer lets the engine fire the head without building the
+  ready list or calling ``decide``, batching consecutive
+  singleton steps between real decision points.  The scheduler is
+  responsible for keeping its own step bookkeeping consistent when it
+  waves a step off (see :class:`repro.explore.scheduler
+  .ExploreScheduler.wants`).
 
 Annotations (:meth:`EventHandle.annotate`) are **lazy**: the engine
 carries an ``annotating`` flag, off by default, and the hot scheduling
@@ -64,6 +83,7 @@ from repro.sim.equeue import (
 
 __all__ = [
     "AGAIN",
+    "CONTROLLED_FAST_PATH",
     "DEFER",
     "FIRE",
     "Engine",
@@ -82,6 +102,12 @@ _EventRecord = EventHandle
 FIRE = "fire"      #: execute ready[index] now
 DEFER = "defer"    #: block ready[index] until the rest of the run drains
 AGAIN = "again"    #: scheduler mutated the simulation; re-collect and re-ask
+
+#: Kill switch for the controlled loop's fast paths (the pure-default
+#: drain delegation and the singleton ``wants`` skip — see the module
+#: docstring).  Module-level so the equivalence tests can flip it and
+#: assert bit-identical schedules either way; leave it ``True``.
+CONTROLLED_FAST_PATH = True
 
 
 class Scheduler:
@@ -125,6 +151,26 @@ class Scheduler:
 
     def begin_run(self, engine: "Engine") -> None:  # pragma: no cover - hook
         """Called once when a controlled ``run`` starts."""
+
+    def wants(self, ready: tuple[EventHandle, ...]) -> bool:
+        """Singleton fast-path predicate: must ``decide`` see this step?
+
+        Consulted only when the ready set is a singleton (nothing tied
+        with the head event).  Returning ``False`` lets the engine fire
+        ``ready[0]`` immediately — no ready-list construction, no
+        ``decide`` call — which is where the controlled loop spends
+        most of its steps.  A scheduler that overrides this **takes
+        over the step's bookkeeping**: whatever per-consultation state
+        it keeps (step counters, menus, fingerprints) must be updated
+        exactly as if ``decide`` had been called and answered
+        ``(FIRE, 0)``, or replayed deviation step numbers drift.
+
+        The base implementation returns ``True`` exactly when
+        ``decide`` is overridden, so a subclass that only customises
+        ``decide`` keeps being consulted at every step — the fast path
+        is strictly opt-in.
+        """
+        return type(self).decide is not Scheduler.decide
 
     def decide(
         self, now: float, ready: list[EventHandle]
@@ -205,12 +251,16 @@ class Engine:
     def install_scheduler(self, scheduler: Scheduler | None) -> None:
         """Install (or with ``None`` remove) the decision-point scheduler.
 
-        Installing migrates the pending set onto the binary heap queue
-        (the controlled loop manipulates heap entries directly) and
-        enables annotations; removing migrates back to the calendar
-        queue.  Entries keep their ``(time, seq)`` keys either way, so
-        a migration never reorders anything.  Must not be called while
-        the engine is running.
+        Installing a *consultable* scheduler (one that overrides
+        ``decide`` or ``wants``) migrates the pending set onto the
+        binary heap queue — the controlled loop manipulates heap
+        entries directly; a pure default scheduler keeps the current
+        storage, since ``run`` serves it through the storage's own
+        drain loop (see the module docstring).  Either way annotations
+        are enabled; removing the scheduler migrates back to the
+        calendar queue.  Entries keep their ``(time, seq)`` keys across
+        a migration, so a migration never reorders anything.  Must not
+        be called while the engine is running.
         """
         if self._running:
             raise ConfigurationError(
@@ -219,10 +269,19 @@ class Engine:
         self._scheduler = scheduler
         if scheduler is not None:
             self.annotating = True
-            if self._queue.kind != "heap":
+            if not self._pure_default(scheduler) and self._queue.kind != "heap":
                 self._migrate(BinaryHeapQueue)
         elif self._queue.kind != "calendar":
             self._migrate(CalendarQueue)
+
+    @staticmethod
+    def _pure_default(scheduler: Scheduler) -> bool:
+        """True when ``scheduler`` can only ever answer ``(FIRE, 0)``."""
+        return (
+            CONTROLLED_FAST_PATH
+            and type(scheduler).decide is Scheduler.decide
+            and type(scheduler).wants is Scheduler.wants
+        )
 
     def _migrate(self, cls: type[EventQueue]) -> None:
         self._queue = queue = cls.from_queue(self._queue)
@@ -292,7 +351,26 @@ class Engine:
         """
         if self._running:
             raise RuntimeError("Engine.run is not reentrant")
-        if self._scheduler is not None:
+        scheduler = self._scheduler
+        if scheduler is not None:
+            if self._pure_default(scheduler) and not self._blocked:
+                # A pure default scheduler makes every decision the
+                # default loop would: serve the run through the
+                # storage's drain (calendar-fast), hooks still firing.
+                self._running = True
+                scheduler.begin_run(self)
+                try:
+                    return self._queue.drain(
+                        self, until, max_events, stop_when
+                    )
+                finally:
+                    self._running = False
+                    scheduler.end_run(self)
+            if self._queue.kind != "heap":
+                # install_scheduler skipped the migration (the
+                # scheduler looked pure then, or the fast path was
+                # toggled since); the controlled loop needs the heap.
+                self._migrate(BinaryHeapQueue)
             return self._run_controlled(until, max_events, stop_when)
         self._running = True
         try:
@@ -316,11 +394,14 @@ class Engine:
         assert scheduler is not None
         self._running = True
         queue = self._queue
-        assert queue.kind == "heap"  # install_scheduler migrated us
+        assert queue.kind == "heap"  # run()/install_scheduler migrated us
         heap = queue.entries
         executed = 0
         scheduler.begin_run(self)
+        wants = scheduler.wants
+        fast = CONTROLLED_FAST_PATH
         try:
+            observer = queue.observer  # installed by begin_run, if any
             while True:
                 while heap and heap[0][2].state == 1:
                     heappop(heap)
@@ -332,7 +413,8 @@ class Engine:
                     if until is not None:
                         self._now = max(self._now, until)
                     break
-                time = heap[0][0]
+                head = heap[0]
+                time = head[0]
                 if until is not None and time > until:
                     if self._blocked:
                         # The horizon is the deferred events' backstop:
@@ -342,6 +424,35 @@ class Engine:
                         continue
                     self._now = until
                     break
+                # Singleton fast path: the head's only possible tie
+                # sits at heap[1] or heap[2] (its children); when
+                # neither matches its time the ready set is {head} and
+                # the scheduler may wave the consultation off.
+                if (
+                    fast
+                    and (len(heap) < 2 or heap[1][0] != time)
+                    and (len(heap) < 3 or heap[2][0] != time)
+                ):
+                    record = head[2]
+                    if not wants((record,)):
+                        heappop(heap)
+                        self._now = time
+                        record.state = 2
+                        queue.pending -= 1
+                        executed += 1
+                        self.events_executed += 1
+                        if observer is not None:
+                            observer.on_fire(record)
+                        record.fn(*record.args)
+                        if max_events is not None and executed >= max_events:
+                            raise EventBudgetExceeded(
+                                f"simulation exceeded max_events="
+                                f"{max_events} at t={self._now:.6f}s "
+                                f"(likely a protocol livelock)"
+                            )
+                        if stop_when is not None and stop_when():
+                            break
+                        continue
                 # Ready set: every enabled event tied at the minimum
                 # time, in (time, seq) order.
                 ready: list[EventHandle] = []
@@ -366,10 +477,14 @@ class Engine:
                     delay = scheduler.defer_delay
                     if delay is None:
                         self._blocked.append(chosen)
+                        if observer is not None:
+                            observer.on_block(chosen)
                     else:
                         chosen.time = time + delay
                         queue.seq += 1
                         heappush(heap, (chosen.time, queue.seq, chosen))
+                        if observer is not None:
+                            observer.on_defer(chosen)
                     for entry in entries:
                         heappush(heap, entry)
                     continue
@@ -389,6 +504,8 @@ class Engine:
                 queue.pending -= 1
                 executed += 1
                 self.events_executed += 1
+                if observer is not None:
+                    observer.on_fire(chosen)
                 chosen.fn(*chosen.args)
                 if max_events is not None and executed >= max_events:
                     raise EventBudgetExceeded(
@@ -410,6 +527,7 @@ class Engine:
         (e.g. in-flight frames of a crashed sender) are dropped.
         """
         queue = self._queue
+        observer = queue.observer
         blocked, self._blocked = self._blocked, []
         for record in blocked:
             if record.state == 1:
@@ -420,6 +538,8 @@ class Engine:
             record.time = max(self._now, record.time)
             queue.seq += 1
             heappush(queue.entries, (record.time, queue.seq, record))
+            if observer is not None:
+                observer.on_release(record)
 
     def run_until_idle(self, max_events: int | None = None) -> float:
         """Run until no events remain (convenience for tests)."""

@@ -118,7 +118,7 @@ class EventHandle:
         if self.state:
             return
         self.state = 1
-        self._queue.note_cancel()
+        self._queue.note_cancel(self)
 
     def annotate(self, info: Any) -> "EventHandle":
         """Attach scheduler-visible metadata to this event (chainable).
@@ -181,6 +181,14 @@ class EventQueue:
         self.seq = 0
         self.pending = 0
         self._cancelled = 0
+        #: Optional lifecycle observer (``on_push``/``on_cancel`` here;
+        #: the engine's controlled loop adds fire/defer/release
+        #: notifications).  The explorer's incremental fingerprint
+        #: tracker (:mod:`repro.explore.fingerprint`) installs itself
+        #: here for the duration of a controlled run; ``None`` — the
+        #: overwhelmingly common case — costs one load-and-test on the
+        #: heap push path and nothing anywhere else.
+        self.observer = None
 
     # -- storage interface --------------------------------------------
 
@@ -215,7 +223,7 @@ class EventQueue:
 
     # -- shared bookkeeping -------------------------------------------
 
-    def note_cancel(self) -> None:
+    def note_cancel(self, record: EventHandle) -> None:
         """Account one cancellation; compact if tombstones dominate.
 
         Called by :meth:`EventHandle.cancel`.  Compaction triggers only
@@ -224,6 +232,9 @@ class EventQueue:
         cancel is O(1) and a cancel-heavy run (failure-detector timer
         churn) never scans a mostly-live queue.
         """
+        observer = self.observer
+        if observer is not None:
+            observer.on_cancel(record)
         self.pending -= 1
         cancelled = self._cancelled = self._cancelled + 1
         if cancelled >= _COMPACT_MIN and cancelled * 2 >= self._stored():
@@ -284,6 +295,9 @@ class BinaryHeapQueue(EventQueue):
         record._queue = self
         heappush(self.entries, (time, seq, record))
         self.pending += 1
+        observer = self.observer
+        if observer is not None:
+            observer.on_push(record)
         return record
 
     def snapshot(self) -> list[tuple[float, int, EventHandle]]:

@@ -1,0 +1,141 @@
+"""Fast-path equivalence: the batched controlled loop changes nothing.
+
+The engine's controlled loop grew two fast paths (see
+:mod:`repro.sim.engine`): pure default schedulers skip heap migration
+entirely and drain the calendar queue, and singleton ready sets with no
+applicable deviation fire without consulting the scheduler
+(``Scheduler.wants``).  Both are pure performance — every observable
+(traces, search verdicts, pruning counts, repro strings) must be
+**bit-identical** with the fast path disabled.  These tests pin that by
+running the same scenarios with ``CONTROLLED_FAST_PATH`` toggled.
+
+The incremental fingerprint tracker (:mod:`repro.explore.fingerprint`)
+rides the same seam; its equivalence is pinned here too via the
+``fingerprint_check`` debug harness, which recomputes every fingerprint
+from scratch and asserts agreement at each decision step.
+"""
+
+import pytest
+
+import repro.sim.engine as engine_mod
+from repro import CrashSchedule, StackSpec, SymmetricWorkload, build_system
+from repro.explore import explore_spec, replay
+from repro.explore.executor import ScheduleExecutor
+from repro.explore.strategies import run_strategy
+from repro.sim.engine import Scheduler
+from repro.sim.trace import Trace
+from tests.helpers import trace_fingerprint
+
+STACK = dict(
+    n=3, abcast="indirect", consensus="ct-indirect", rb="sender",
+    network="constant", constant_latency=3e-4, seed=5,
+)
+
+
+def _run_traced(scheduler: Scheduler | None, fast: bool, monkeypatch) -> str:
+    monkeypatch.setattr(engine_mod, "CONTROLLED_FAST_PATH", fast)
+    system = build_system(
+        StackSpec(**STACK), CrashSchedule.single(2, 0.1), trace=Trace()
+    )
+    if scheduler is not None:
+        system.engine.install_scheduler(scheduler)
+    SymmetricWorkload(
+        system, throughput=150.0, payload_size=32, duration=0.2,
+    ).install()
+    system.run(until=1.5, max_events=5_000_000)
+    return trace_fingerprint(system.trace)
+
+
+class _Consulted(Scheduler):
+    """Overrides ``decide`` (to the default choice): never fast-pathed."""
+
+    def decide(self, time, ready):
+        return super().decide(time, ready)
+
+
+class TestGoldenTracesUnderScheduler:
+    def test_default_scheduler_trace_identical_fast_on_off(self, monkeypatch):
+        """Pure-default install (no migration) == forced controlled loop."""
+        free = _run_traced(None, True, monkeypatch)
+        fast = _run_traced(Scheduler(), True, monkeypatch)
+        slow = _run_traced(Scheduler(), False, monkeypatch)
+        consulted = _run_traced(_Consulted(), True, monkeypatch)
+        assert free == fast == slow == consulted
+
+    def test_batched_singleton_steps_change_nothing(self, monkeypatch):
+        """A consulted scheduler under the singleton fast path matches a
+        per-event consultation with the fast path compiled out."""
+        fast = _run_traced(_Consulted(), True, monkeypatch)
+        slow = _run_traced(_Consulted(), False, monkeypatch)
+        assert fast == slow
+
+
+def _search(strategy: str, fast: bool, monkeypatch):
+    monkeypatch.setattr(engine_mod, "CONTROLLED_FAST_PATH", fast)
+    spec = explore_spec(
+        "faulty", budget=120, stop_after=0, strategy=strategy,
+    )
+    result = run_strategy(spec)
+    return spec, result
+
+
+class TestSearchEquivalence:
+    @pytest.mark.parametrize(
+        "strategy", ["delay-bounded", "dfs", "random-walk"]
+    )
+    def test_verdicts_identical_fast_on_off(self, strategy, monkeypatch):
+        _, on = _search(strategy, True, monkeypatch)
+        _, off = _search(strategy, False, monkeypatch)
+        assert on.schedules == off.schedules
+        assert on.pruned == off.pruned
+        assert on.exhausted == off.exhausted
+        assert [
+            (v.prop, v.repro, v.steps) for v in on.violations
+        ] == [
+            (v.prop, v.repro, v.steps) for v in off.violations
+        ]
+
+    def test_section22_repro_rediscovered_both_ways(self, monkeypatch):
+        spec, on = _search("delay-bounded", True, monkeypatch)
+        _, off = _search("delay-bounded", False, monkeypatch)
+        repros = {v.repro for v in on.violations}
+        assert repros == {v.repro for v in off.violations}
+        assert "5:c2" in repros, (
+            "the crash-the-sender counterexample must surface with its "
+            "canonical repro string"
+        )
+        # And the shared repro replays to the same verdict either way.
+        monkeypatch.setattr(engine_mod, "CONTROLLED_FAST_PATH", True)
+        _, fast_record = replay(spec, "5:c2")
+        monkeypatch.setattr(engine_mod, "CONTROLLED_FAST_PATH", False)
+        _, slow_record = replay(spec, "5:c2")
+        assert fast_record.violation is not None
+        assert slow_record.violation is not None
+        assert fast_record.violation.prop == slow_record.violation.prop
+        assert fast_record.steps == slow_record.steps
+        assert fast_record.events == slow_record.events
+
+
+class TestIncrementalFingerprints:
+    def test_tracker_agrees_with_recompute_over_a_full_search(self):
+        """``fingerprint_check`` recomputes every fingerprint from
+        scratch at each decision step and asserts agreement; a full
+        small search is the broadest coverage of push/fire/cancel/
+        defer/crash/adeliver incremental updates."""
+        spec = explore_spec(
+            "faulty", budget=60, stop_after=0, fingerprint_check=True,
+        )
+        result = run_strategy(spec)
+        assert result.schedules == 60
+        assert result.violations  # the check harness still finds the bug
+
+    def test_menus_and_fingerprints_identical_fast_on_off(self, monkeypatch):
+        spec = explore_spec("faulty")
+        executor = ScheduleExecutor(spec)
+        monkeypatch.setattr(engine_mod, "CONTROLLED_FAST_PATH", True)
+        on = executor.run((), menus=True)
+        monkeypatch.setattr(engine_mod, "CONTROLLED_FAST_PATH", False)
+        off = executor.run((), menus=True)
+        assert on.steps == off.steps
+        assert on.events == off.events
+        assert on.menus == off.menus

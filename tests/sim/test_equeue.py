@@ -197,6 +197,14 @@ class TestCancellationAndCompaction:
         assert engine.pending() == 100
 
 
+class _Consulted(Scheduler):
+    """Overrides ``decide`` (same answers), so it must be consulted —
+    installing it migrates the engine onto the heap."""
+
+    def decide(self, now, ready):
+        return super().decide(now, ready)
+
+
 class TestMigration:
     def test_install_scheduler_migrates_to_heap_and_back(self):
         engine = Engine()
@@ -205,10 +213,24 @@ class TestMigration:
         for i in range(20):
             engine.schedule_at(i * 0.4 * WIDTH, fired.append, i)
         engine.schedule_at(0.2 * WIDTH, fired.append, "tie-breaker")
-        engine.install_scheduler(Scheduler())
+        engine.install_scheduler(_Consulted())
         assert engine.equeue.kind == "heap"
         assert engine.pending() == 21
         engine.install_scheduler(None)
+        assert engine.equeue.kind == "calendar"
+        engine.run_until_idle()
+        assert fired == [0, "tie-breaker"] + list(range(1, 20))
+
+    def test_pure_default_scheduler_skips_the_migration(self):
+        # A scheduler that overrides neither decide nor wants can only
+        # ever answer (FIRE, 0): run() serves it through the storage's
+        # own drain loop, so there is nothing to migrate for.
+        engine = Engine()
+        fired = []
+        for i in range(20):
+            engine.schedule_at(i * 0.4 * WIDTH, fired.append, i)
+        engine.schedule_at(0.2 * WIDTH, fired.append, "tie-breaker")
+        engine.install_scheduler(Scheduler())
         assert engine.equeue.kind == "calendar"
         engine.run_until_idle()
         assert fired == [0, "tie-breaker"] + list(range(1, 20))
@@ -217,7 +239,8 @@ class TestMigration:
         engine = Engine()
         fired = []
         engine.schedule_at(WIDTH, fired.append, "pre")
-        engine.install_scheduler(Scheduler())
+        engine.install_scheduler(_Consulted())
+        assert engine.equeue.kind == "heap"
         engine.schedule_at(WIDTH, fired.append, "post")  # same-time tie
         engine.run_until_idle()
         assert fired == ["pre", "post"]
