@@ -1,14 +1,16 @@
 """Micro-benchmark: the engine's schedule/run hot path.
 
-Queue entries are plain ``(time, seq, record)`` tuples so every
-ordering comparison sees a float (and on ties an int) instead of
-dispatching into a dataclass ``__lt__``.  Since the PR 6 overhaul the
-whole schedule path lives on the queue object — ``Engine.schedule``
-delegates to a pre-bound ``queue.push``, which bumps the queue's own
-seq counter and calls a module-global ``heappush``/``insort``, so the
-hot path performs no per-call module-attribute loads and exactly one
-allocation (the merged record/handle).
-``test_schedule_path_ns_per_push`` pins that cost in isolation;
+Since the PR 6 overhaul the whole schedule path lives on the queue
+object — ``Engine.schedule`` delegates to a pre-bound ``queue.push``,
+which bumps the queue's own seq counter, so the hot path performs no
+per-call module-attribute loads.  ``test_schedule_path_ns_per_push``
+pins the **handle-path** push cost in isolation: on the PR 8 columnar
+default that is the column stores *plus* one allocation (the
+cancelable ``EventHandle`` view over the slot), which is dearer than
+the calendar queue's record-only push was — the view duplicates what
+the record used to be.  That premium is confined to callers that hold
+handles; the zero-allocation slot API the engine's hot interior sites
+use is tracked by ``benchmarks/test_engine_run_loop.py``.
 ``test_engine_schedule_run_throughput`` drives the engine the way a
 saturated contention-model run does: a large rolling population of
 pending timers, interleaved scheduling from inside callbacks, plus a
@@ -68,7 +70,7 @@ def test_schedule_path_ns_per_push(benchmark):
     )
 
 
-@pytest.mark.parametrize("equeue", ["heap", "calendar"])
+@pytest.mark.parametrize("equeue", ["heap", "calendar", "columnar"])
 def test_engine_results_unchanged_by_queue_layout(equeue):
     """Tuple-keyed storage preserves (time, then FIFO) callback ordering."""
     engine = Engine(equeue=equeue)

@@ -18,25 +18,49 @@ container each PR was written on (CPython, pre-scheduled flat queue of
   half the cyclic-GC scan pressure), scheduling moved onto the queue
   object, and the calendar queue replacing per-event heap sifts with
   bucket index bumps — 2219 -> 1095 ns/event mean on this drain
-  (2.03x, ``BENCH_baseline.json`` vs ``BENCH_pr6.json``).
+  (2.03x, ``BENCH_baseline.json`` vs ``BENCH_pr6.json``);
+* PR 8 columnar store + fused drain: the default queue became
+  ``ColumnarQueue`` (struct-of-arrays columns, recycled slot ids, no
+  per-event record object), and ``Engine.drain_until`` dispatches
+  through local-bound columns.  The drain itself — now measured
+  separately by ``test_run_loop_drain_ns_per_event`` — is where the
+  fused loop's gain shows; scheduling cost splits by API (see below).
 
-``benchmark.extra_info["ns_per_event"]`` records the figure for the
-machine the suite runs on, for the default (calendar) queue, the
-reference heap queue, and two *controlled* cases.  Since the PR 7
-batched-loop work the engine recognises a **pure default** scheduler
-(neither ``decide`` nor ``wants`` overridden) and runs it on the
-scheduler-free calendar drain — no heap migration, near-zero seam tax
-— so ``test_controlled_loop_ns_per_event`` now tracks that delegation.
+**What each figure includes.**  Since PR 8 the scheduling side has two
+prices, so the module records them explicitly instead of blending:
+
+* ``test_run_loop_drain_ns_per_event`` — the **drain alone** (prefill
+  outside the timed region): pop + tombstone check + dispatch per
+  event through the fused columnar loop.  This is the figure ROADMAP
+  item 2's "faster drain" targets.
+* ``test_run_loop_ns_per_event`` — prefill **through the slot API**
+  (``push_slot``: no handle, no per-event allocation) plus the drain.
+  The engine's hot scheduling sites — frame delivery batching,
+  resource completions — moved onto the slot API in PR 8, so this is
+  the (push + pop + dispatch) cost a measurement-mode simulation's
+  dominant event traffic actually pays, and the continuation of the
+  ledger series (same 50k-event shape, scheduling cost included).
+* ``test_run_loop_ns_per_event_handles`` — prefill through
+  ``schedule_at`` (the pre-PR-8 shape): every push also materializes a
+  cancelable ``EventHandle`` view over its slot.  Columnar storage
+  makes this path dearer than the calendar queue's record-only push —
+  the view duplicates what the record used to be — which is exactly
+  why the hot sites use slots and handles are reserved for callers
+  that cancel (timers) or annotate.
+
+``benchmark.extra_info["ns_per_event"]`` records each figure for the
+machine the suite runs on, plus the reference heap queue and two
+*controlled* cases.  Since the PR 7 batched-loop work the engine
+recognises a **pure default** scheduler (neither ``decide`` nor
+``wants`` overridden) and runs it on the scheduler-free drain — no
+heap migration, near-zero seam tax — so
+``test_controlled_loop_ns_per_event`` tracks that delegation.
 ``test_controlled_singleton_ns_per_event`` measures the real heap
 controlled loop with the singleton ``wants`` fast path (what
 ``ExploreScheduler`` pays on the vast majority of its steps): ready
 sets of one fire without list construction or a ``decide`` call.
 Equivalence with the fast paths disabled is pinned by
 ``tests/explore/test_fast_path.py``.
-
-Scheduling cost is **included** in the measured drain: `_prefill` runs
-inside the timed callable, so the figure is (push + pop + dispatch)
-per event, matching what a simulation actually pays.
 """
 
 from __future__ import annotations
@@ -51,8 +75,17 @@ def _noop() -> None:
 
 
 def _prefill(engine: Engine) -> None:
-    # A flat queue of distinct-time events: the loop cost itself, with
-    # no callback work and minimal queue churn per pop.
+    # A flat queue of distinct-time events through the slot API: the
+    # loop cost itself, with no callback work, no handle views and
+    # minimal queue churn per pop.
+    push = engine._queue.push_slot
+    for i in range(EVENTS):
+        push(i * 1e-6, _noop, ())
+
+
+def _prefill_handles(engine: Engine) -> None:
+    # The same flat queue through ``schedule_at``: every event also
+    # carries a cancelable handle view.
     for i in range(EVENTS):
         engine.schedule_at(i * 1e-6, _noop)
 
@@ -71,9 +104,16 @@ def _drain_default() -> int:
     return engine.events_executed
 
 
+def _drain_handles() -> int:
+    engine = Engine()
+    _prefill_handles(engine)
+    engine.run_until_idle(max_events=EVENTS + 1)
+    return engine.events_executed
+
+
 def _drain_controlled() -> int:
     engine = Engine()
-    engine.install_scheduler(Scheduler())  # pure default: calendar drain
+    engine.install_scheduler(Scheduler())  # pure default: fused drain
     _prefill(engine)
     engine.run_until_idle(max_events=EVENTS + 1)
     return engine.events_executed
@@ -103,9 +143,36 @@ def _note_ns(benchmark) -> None:
     )
 
 
+def test_run_loop_drain_ns_per_event(benchmark):
+    """The fused columnar drain alone: prefill outside the timed
+    region, so the figure is (pop + dispatch) per event — the PR 8
+    tentpole's target metric."""
+
+    def setup():
+        engine = Engine()
+        _prefill(engine)
+        return (engine,), {}
+
+    def drain(engine: Engine) -> int:
+        engine.run_until_idle(max_events=EVENTS + 1)
+        return engine.events_executed
+
+    benchmark.pedantic(drain, setup=setup, rounds=10, iterations=1)
+    _note_ns(benchmark)
+
+
 def test_run_loop_ns_per_event(benchmark):
-    """The default engine — calendar queue since the PR 6 overhaul."""
+    """The default engine, slot-API scheduling included — columnar
+    store since the PR 8 overhaul (see the module docstring)."""
     executed = benchmark(_drain_default)
+    assert executed == EVENTS
+    _note_ns(benchmark)
+
+
+def test_run_loop_ns_per_event_handles(benchmark):
+    """The default engine through ``schedule_at``: slot storage plus a
+    materialized handle view per event."""
+    executed = benchmark(_drain_handles)
     assert executed == EVENTS
     _note_ns(benchmark)
 

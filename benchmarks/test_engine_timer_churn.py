@@ -1,4 +1,4 @@
-"""Micro-benchmark: failure-detector-style timer churn on both queues.
+"""Micro-benchmark: failure-detector-style timer churn per queue kind.
 
 The workload the calendar queue's sparse regime is tuned for: many
 long-lived timers armed far ahead of ``now`` (heartbeat interarrival
@@ -53,7 +53,7 @@ def _churn(equeue: str) -> tuple[int, int]:
     return fired, expired
 
 
-@pytest.mark.parametrize("equeue", ["heap", "calendar"])
+@pytest.mark.parametrize("equeue", ["heap", "calendar", "columnar"])
 def test_timer_churn(benchmark, equeue):
     fired, expired = benchmark(_churn, equeue)
     assert fired == PROCESSES * (ROUNDS + 1)
@@ -65,4 +65,4 @@ def test_timer_churn(benchmark, equeue):
 
 
 def test_churn_outcome_identical_across_queues():
-    assert _churn("heap") == _churn("calendar")
+    assert _churn("heap") == _churn("calendar") == _churn("columnar")

@@ -16,7 +16,12 @@ Two figures, both on the quick fig-3 grid (12 points, 2 panels):
   regeneration (seven ``run_suite`` calls back-to-back) actually pays.
 * **cached re-run** — the same sweep served entirely from the result
   cache: the stat/read path a warm re-run pays per point (bounded by
-  the in-process LRU of :class:`~repro.harness.runner.ResultCache`).
+  the in-process LRU of :class:`~repro.harness.runner.ResultCache`,
+  sized by ``REPRO_CACHE_LRU``).  The LRU's lifetime hit/miss counters
+  (:func:`repro.harness.runner.cache_stats`) are recorded in
+  ``extra_info`` so a warm-path memoisation regression (e.g. entries
+  stat-invalidating spuriously) shows in the ledger as a hit-rate
+  collapse rather than an unexplained wall-clock drift.
 """
 
 from __future__ import annotations
@@ -30,6 +35,12 @@ try:  # PR 7's persistent pool; absent when benchmarking older code
 except ImportError:  # pragma: no cover - pre-PR-7 ledger runs only
     def shutdown_pool() -> None:
         pass
+
+try:  # PR 8's LRU counters; absent when benchmarking older code
+    from repro.harness.runner import cache_stats
+except ImportError:  # pragma: no cover - pre-PR-8 ledger runs only
+    def cache_stats() -> dict:
+        return {}
 
 #: Pool width for the dispatch benchmark: enough to fan the 12-point
 #: grid out, small enough to exist on any CI runner.
@@ -60,5 +71,17 @@ def test_fig3_uncached_pool_dispatch(benchmark):
 
 
 def test_fig3_cached_rerun(benchmark):
+    before = cache_stats()
     figure3(True, _options(use_cache=True))  # prime the cache once
     benchmark.pedantic(_cached, rounds=5, iterations=1)
+    after = cache_stats()
+    if after:
+        # 5 timed rounds + the priming pass over a 12-point grid should
+        # be served from memory; the priming round's disk loads are the
+        # only expected misses.
+        hits = after["hits"] - before["hits"]
+        misses = after["misses"] - before["misses"]
+        benchmark.extra_info["lru_hits"] = hits
+        benchmark.extra_info["lru_misses"] = misses
+        benchmark.extra_info["lru_capacity"] = after["capacity"]
+        assert hits > misses, (hits, misses)

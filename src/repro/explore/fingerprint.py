@@ -33,6 +33,16 @@ Two implementations of the same partition live here:
   stable across worker processes, a requirement for the sharded
   parallel search.
 
+Both read events through the *record* interface (``time``/``seq``/
+``fn``/``args``/``state``), never through queue storage directly, so
+they are storage-agnostic: the heap and calendar queues hand over
+their records, and the PR 8 columnar queue hands over the handle view
+it materializes over a slot at push time (the observer seam is exactly
+the point where a columnar event needs an identity the tracker can key
+dictionaries on).  The three-way observer-sequence test in
+``tests/sim/test_equeue.py`` pins the notification streams identical
+across storages.
+
 The two produce *different strings* but the **same partition** of
 states: both are injective-in-practice images of the same canonical
 tuple (pending multiset, blocked sequence, crash set, adelivery

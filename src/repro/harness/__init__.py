@@ -38,6 +38,7 @@ from repro.harness.runner import (
     ResultCache,
     SuiteError,
     SuiteResult,
+    cache_stats,
     parallel_map,
     run_suite,
     spec_key,
@@ -76,6 +77,7 @@ __all__ = [
     "SuiteResult",
     "SweepSpec",
     "all_figures",
+    "cache_stats",
     "concat",
     "expand",
     "figure1",

@@ -151,10 +151,50 @@ def spec_key(spec: ExperimentSpec) -> str | None:
 #: is a miss, exactly as if it had never been memoised.  Results are
 #: treated as immutable throughout the harness, so handing the same
 #: object out repeatedly is safe.
-_LOAD_LRU_MAX = 512
+#:
+#: Capacity comes from the ``REPRO_CACHE_LRU`` environment variable
+#: (default 512, read at import; ``0`` disables memoisation entirely).
+#: Dashboards replaying big grids can raise it; memory-constrained CI
+#: shards can shrink it.
+
+
+def _lru_capacity() -> int:
+    raw = os.environ.get("REPRO_CACHE_LRU", "")
+    if not raw:
+        return 512
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 512
+
+
+_LOAD_LRU_MAX = _lru_capacity()
 _load_lru: OrderedDict[Path, tuple[int, int, ExperimentResult]] = (
     OrderedDict()
 )
+#: Lifetime hit/miss counters of the in-process LRU (a *hit* is a
+#: stat-validated memo; loads that fall through to disk — cold, stale,
+#: or corrupt — count as misses).  Read through :func:`cache_stats`.
+_lru_hits = 0
+_lru_misses = 0
+
+
+def cache_stats() -> dict[str, int]:
+    """Hit/miss/size/capacity counters of the in-process result LRU.
+
+    ``hits`` are loads served from memory (after stat validation);
+    ``misses`` are loads that went to disk — whether the entry was
+    cold, invalidated by a changed ``stat``, or unreadable.  The
+    bench-suite dispatch benchmark records these so a regression in
+    warm-path memoisation shows up in the perf ledger, not just as a
+    mysterious wall-clock drift.
+    """
+    return {
+        "hits": _lru_hits,
+        "misses": _lru_misses,
+        "size": len(_load_lru),
+        "capacity": _LOAD_LRU_MAX,
+    }
 
 
 def _lru_remember(path: Path, size: int, mtime_ns: int, result) -> None:
@@ -194,6 +234,7 @@ class ResultCache:
         (the hash ignores names); the returned result carries the
         caller's spec so reports label points correctly.
         """
+        global _lru_hits, _lru_misses
         path = self.path_for(spec, key)
         if path is None:
             return None
@@ -207,8 +248,10 @@ class ResultCache:
             and memo[0] == stat.st_size
             and memo[1] == stat.st_mtime_ns
         ):
+            _lru_hits += 1
             _load_lru.move_to_end(path)
             return replace(memo[2], spec=spec)
+        _lru_misses += 1
         try:
             with path.open("rb") as fh:
                 result: ExperimentResult = pickle.load(fh)

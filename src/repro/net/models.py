@@ -123,7 +123,12 @@ class Network:
         # policy: in-flight tracking must be able to cancel each frame
         # individually.
         self._batching = not drop_in_flight_of_crashed_sender
-        self._batch_record: EventHandle | None = None
+        # The open batch's queue token — an opaque value of the *live*
+        # queue's slot API (an int slot id on the columnar store, the
+        # record itself elsewhere).  Only dereferenced through the
+        # queue, and only while ``_batch_seq == queue.seq`` proves the
+        # queue (and the token's slot) untouched since it was issued.
+        self._batch_token: object = None
         self._batch_frames: list[Frame] | None = None
         self._batch_time = -1.0
         self._batch_dst = -1
@@ -209,7 +214,7 @@ class Network:
                 self.frames_dropped += 1
         self._in_flight[src].clear()
 
-    def _schedule_delivery_at(self, time: float, frame: Frame) -> EventHandle:
+    def _schedule_delivery_at(self, time: float, frame: Frame) -> object:
         """Schedule ``frame``'s delivery at absolute ``time``, coalescing
         back-to-back frames due at the same (time, destination) into one
         event draining a batch list.
@@ -222,14 +227,20 @@ class Network:
         from one callback is exactly the order the unbatched engine
         would have produced.  The batch is closed the moment anything
         else is scheduled, the time or destination differs, or the
-        event has started executing (``record.state``), which also
-        covers a same-time send issued *from within* the batch's own
-        drain.
+        event has started executing (``token_pending`` false), which
+        also covers a same-time send issued *from within* the batch's
+        own drain.  The seq check also guarantees the token is safe to
+        dereference at all: on the columnar store a slot id can only be
+        recycled by a later push, which would have bumped ``seq``.
 
-        With the engine annotating (explorer installed) every frame
-        keeps its own annotated event so the scheduler seam can defer
-        frames individually; under the lost-socket-buffers policy
-        batching is off so in-flight tracking can cancel per frame.
+        This is the zero-allocation path: deliveries go through the
+        queue's slot API (``push_slot``/``retarget``), never
+        materializing a handle.  With the engine annotating (explorer
+        installed) every frame keeps its own annotated event so the
+        scheduler seam can defer frames individually; under the
+        lost-socket-buffers policy batching is off so in-flight
+        tracking can cancel per frame — both of those paths return a
+        real :class:`EventHandle`.
         """
         engine = self.engine
         if engine.annotating:
@@ -240,31 +251,32 @@ class Network:
         if not self._batching:
             return engine.schedule_at(time, self._deliver, frame)
         queue = engine._queue
-        record = self._batch_record
         if (
             self._batch_seq == queue.seq
             and self._batch_time == time
             and self._batch_dst == frame.dst
-            and record.state == 0
+            and queue.token_pending(self._batch_token)
         ):
+            token = self._batch_token
             frames = self._batch_frames
             if frames is None:
                 # Upgrade the pending single delivery in place: the
                 # already-queued event keeps its (time, seq) key and
                 # now drains a batch list instead of one frame.
-                self._batch_frames = frames = [record.args[0], frame]
-                record.fn = self._deliver_batch
-                record.args = (frames,)
+                self._batch_frames = frames = [
+                    queue.token_arg0(token), frame,
+                ]
+                queue.retarget(token, self._deliver_batch, (frames,))
             else:
                 frames.append(frame)
-            return record
-        handle = engine.schedule_at(time, self._deliver, frame)
-        self._batch_record = handle
+            return token
+        token = queue.push_slot(time, self._deliver, (frame,))
+        self._batch_token = token
         self._batch_frames = None
         self._batch_time = time
         self._batch_dst = frame.dst
         self._batch_seq = queue.seq
-        return handle
+        return token
 
     def _deliver_batch(self, frames: list) -> None:
         deliver = self._deliver

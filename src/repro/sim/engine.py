@@ -10,12 +10,19 @@ makes whole simulations bit-for-bit reproducible.
 The *storage* of pending events is a seam.  ``Engine(equeue=...)``
 selects an :class:`~repro.sim.equeue.EventQueue` implementation:
 
-* ``"calendar"`` (the default) — a calendar-queue / timer-wheel hybrid
-  whose push/pop cost beats heap sifts on both dense frame traffic and
-  sparse timer stretches; ordering is bit-identical to the heap
-  (golden-guarded, plus a randomized equivalence property test in
-  ``tests/sim/test_equeue.py``).
+* ``"columnar"`` (the default) — the calendar's bucket structure over
+  struct-of-arrays storage: hot per-event fields live in parallel
+  ``array``/``bytearray`` columns indexed by recycled slot ids, so the
+  steady-state push/pop cycle allocates no per-event queue objects and
+  the fused drain dispatches straight off the columns.
+* ``"calendar"`` — a calendar-queue / timer-wheel hybrid with one
+  record object per event; push/pop cost beats heap sifts on both
+  dense frame traffic and sparse timer stretches.
 * ``"heap"`` — the reference ``heapq`` implementation.
+
+All three order identically, bit for bit — golden-guarded, plus a
+randomized three-way equivalence property test in
+``tests/sim/test_equeue.py``.  The choice is purely performance.
 
 Two run loops exist:
 
@@ -75,6 +82,7 @@ from repro.sim.equeue import (
     EQUEUES,
     BinaryHeapQueue,
     CalendarQueue,
+    ColumnarQueue,
     EventBudgetExceeded,
     EventHandle,
     EventQueue,
@@ -113,6 +121,9 @@ CONTROLLED_FAST_PATH = True
 class Scheduler:
     """Decision-point hook consulted by the controlled run loop.
 
+    Carries no per-instance state itself (``__slots__ = ()``);
+    subclasses add their own attributes freely.
+
     At every step the engine hands ``decide`` the current ready set —
     the :class:`EventHandle` records of every enabled event tied at the
     minimum pending time, in ``(time, seq)`` order (read-only: inspect
@@ -144,6 +155,8 @@ class Scheduler:
     Installing a scheduler switches :meth:`Engine.run` onto the
     controlled loop; ``install_scheduler(None)`` restores the hot path.
     """
+
+    __slots__ = ()
 
     #: Seconds a deferred event is delayed; ``None`` = held until the
     #: rest of the run drains (see the ``DEFER`` entry above).
@@ -197,9 +210,10 @@ class Engine:
 
     Args:
         equeue: Pending-event storage — a key of
-            :data:`repro.sim.equeue.EQUEUES` (``"calendar"``/``"heap"``)
-            or a ready :class:`EventQueue` instance.  Purely a
-            performance choice; ordering is identical.
+            :data:`repro.sim.equeue.EQUEUES`
+            (``"columnar"``/``"calendar"``/``"heap"``) or a ready
+            :class:`EventQueue` instance.  Purely a performance choice;
+            ordering is identical.
         annotating: Start with scheduler-visible event annotations
             enabled (normally left to ``install_scheduler`` /
             ``build_system``; see the module docstring).
@@ -209,6 +223,7 @@ class Engine:
         "_now",
         "_queue",
         "_qpush",
+        "_default_cls",
         "_running",
         "_scheduler",
         "_blocked",
@@ -218,12 +233,15 @@ class Engine:
 
     def __init__(
         self,
-        equeue: str | EventQueue = "calendar",
+        equeue: str | EventQueue = "columnar",
         annotating: bool = False,
     ) -> None:
         self._now = 0.0
         self._queue = make_equeue(equeue)
         self._qpush = self._queue.push
+        #: The storage class the engine was constructed with — where a
+        #: scheduler-forced heap migration migrates back to.
+        self._default_cls = type(self._queue)
         self._running = False
         self._scheduler: Scheduler | None = None
         self._blocked: list[EventHandle] = []
@@ -258,9 +276,10 @@ class Engine:
         storage, since ``run`` serves it through the storage's own
         drain loop (see the module docstring).  Either way annotations
         are enabled; removing the scheduler migrates back to the
-        calendar queue.  Entries keep their ``(time, seq)`` keys across
-        a migration, so a migration never reorders anything.  Must not
-        be called while the engine is running.
+        storage the engine was constructed with.  Entries keep their
+        ``(time, seq)`` keys across a migration, so a migration never
+        reorders anything.  Must not be called while the engine is
+        running.
         """
         if self._running:
             raise ConfigurationError(
@@ -271,8 +290,8 @@ class Engine:
             self.annotating = True
             if not self._pure_default(scheduler) and self._queue.kind != "heap":
                 self._migrate(BinaryHeapQueue)
-        elif self._queue.kind != "calendar":
-            self._migrate(CalendarQueue)
+        elif type(self._queue) is not self._default_cls:
+            self._migrate(self._default_cls)
 
     @staticmethod
     def _pure_default(scheduler: Scheduler) -> bool:
@@ -356,13 +375,11 @@ class Engine:
             if self._pure_default(scheduler) and not self._blocked:
                 # A pure default scheduler makes every decision the
                 # default loop would: serve the run through the
-                # storage's drain (calendar-fast), hooks still firing.
+                # storage's drain (columnar-fast), hooks still firing.
                 self._running = True
                 scheduler.begin_run(self)
                 try:
-                    return self._queue.drain(
-                        self, until, max_events, stop_when
-                    )
+                    return self.drain_until(until, max_events, stop_when)
                 finally:
                     self._running = False
                     scheduler.end_run(self)
@@ -374,9 +391,29 @@ class Engine:
             return self._run_controlled(until, max_events, stop_when)
         self._running = True
         try:
-            return self._queue.drain(self, until, max_events, stop_when)
+            return self.drain_until(until, max_events, stop_when)
         finally:
             self._running = False
+
+    def drain_until(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> float:
+        """The fused inner loop: hand the run to the storage's drain.
+
+        Each :class:`EventQueue` owns its drain so the hot loop runs on
+        locals bound to that storage's internals — the columnar default
+        dispatches whole same-day buckets of slot ids straight off the
+        columns with no per-event record or attribute chasing.  ``run``
+        re-enters the generic step machinery only when a consultable
+        scheduler is installed; annotations and observers are carried
+        by the storages themselves.  Called by :meth:`run`; callers
+        wanting the engine's re-entrancy guard and scheduler hooks
+        should go through ``run``.
+        """
+        return self._queue.drain(self, until, max_events, stop_when)
 
     def _run_controlled(
         self,

@@ -27,7 +27,24 @@ class SimProcess:
         cpu: This process's CPU resource (protocol work queues here).
         crashed: True once :meth:`crash` has run; guarded callbacks
             scheduled through :meth:`schedule` become no-ops afterwards.
+
+    Timers deliberately stay on the *handle* path
+    (``engine.schedule`` → :class:`EventHandle`): protocol layers hold
+    the returned handle to cancel or inspect it, so materializing the
+    view is the contract, not overhead — the zero-allocation slot API
+    is for fire-and-forget events (resource completions, batched frame
+    deliveries).
     """
+
+    __slots__ = (
+        "pid",
+        "engine",
+        "trace",
+        "cpu",
+        "crashed",
+        "_crash_listeners",
+        "_timer_note",
+    )
 
     def __init__(self, pid: ProcessId, engine: Engine, trace: Trace) -> None:
         self.pid = pid

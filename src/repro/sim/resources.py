@@ -72,9 +72,16 @@ class FifoResource:
         self.busy_time += duration
         self.jobs_served += 1
         if then is not None:
-            handle = engine.schedule_at(finish, then, *args)
             if engine.annotating:
+                handle = engine.schedule_at(finish, then, *args)
                 handle.info = self._note
+            else:
+                # Completion events are fire-and-forget (nobody holds a
+                # cancelable reference): the slot API skips the handle
+                # materialization — zero queue-object allocations on
+                # the columnar store.  ``finish >= now`` by
+                # construction, so no schedule_at validation needed.
+                engine._queue.push_slot(finish, then, args)
         return finish
 
     @property

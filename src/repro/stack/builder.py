@@ -267,7 +267,15 @@ def build_system(
     # only after building): keep scheduler-visible event annotations
     # on from the first wiring-time schedule.  Metrics-only observers
     # skip annotation work entirely (see Engine.annotating).
-    engine = Engine(annotating=isinstance(trace, Trace))
+    #
+    # Storage: the columnar struct-of-arrays store in both modes — the
+    # engine's default.  Annotated runs materialize a handle view per
+    # scheduled event (the explorer's Scheduler then migrates to the
+    # heap on install); pure measurement runs push through the
+    # zero-allocation slot API.  Ordering is identical across stores,
+    # so this is never a semantics choice (three-way equivalence suite
+    # + golden traces).
+    engine = Engine(equeue="columnar", annotating=isinstance(trace, Trace))
     rngs = RngRegistry(seed=spec.seed)
 
     network = layers.NETWORKS.get(spec.network).factory(spec, engine, rngs)

@@ -1,12 +1,15 @@
 """Equivalence and stress tests for the pluggable event queues.
 
-The calendar queue is only admissible as the default because it is
-bit-identical to the reference binary heap: same pop order, same clock
-advancement, same ``pending`` accounting.  These tests drive both
+The calendar and columnar queues are only admissible as defaults
+because they are bit-identical to the reference binary heap: same pop
+order, same clock advancement, same ``pending`` accounting, same
+observer notification sequence.  These tests drive all three
 implementations through adversarial schedules — bucket-boundary ties,
-same-tick bursts, far-future timers, mid-run cancellations, pushes
-from inside callbacks — and assert the sequences match exactly.  The
-random cases are seeded (deterministic), not property-framework based.
+same-tick bursts, far-future timers, mid-run cancellations,
+cancel/re-arm churn, pushes from inside callbacks — and assert the
+sequences match exactly, plus ``from_queue`` migration in every
+direction.  The random cases are seeded (deterministic), not
+property-framework based.
 """
 
 import random
@@ -18,11 +21,13 @@ from repro.sim.equeue import (
     EQUEUES,
     BinaryHeapQueue,
     CalendarQueue,
+    ColumnarQueue,
     EventQueue,
     make_equeue,
 )
 
 WIDTH = CalendarQueue.DEFAULT_WIDTH
+KINDS = ("heap", "calendar", "columnar")
 
 
 def drive(engine: Engine, seed: int, initial: int = 60) -> list[tuple]:
@@ -70,19 +75,89 @@ def drive(engine: Engine, seed: int, initial: int = 60) -> list[tuple]:
     return log
 
 
-class TestHeapCalendarEquivalence:
+class TestThreeWayEquivalence:
     @pytest.mark.parametrize("seed", range(10))
     def test_adversarial_schedules_fire_identically(self, seed):
         log_heap = drive(Engine(equeue="heap"), seed)
         log_cal = drive(Engine(equeue="calendar"), seed)
-        assert log_heap == log_cal
+        log_col = drive(Engine(equeue="columnar"), seed)
+        assert log_heap == log_cal == log_col
         assert len(log_heap) > 100  # the workload actually ran
 
     @pytest.mark.parametrize("width", [1e-7, WIDTH, 1e-3, 10.0])
     def test_equivalence_is_width_independent(self, width):
         log_heap = drive(Engine(equeue="heap"), seed=99)
         log_cal = drive(Engine(equeue=CalendarQueue(width=width)), seed=99)
-        assert log_heap == log_cal
+        log_col = drive(Engine(equeue=ColumnarQueue(width=width)), seed=99)
+        assert log_heap == log_cal == log_col
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_cancel_rearm_churn_fires_identically(self, seed):
+        """Failure-detector-style churn: callbacks keep cancelling live
+        timers and re-arming them, so storage constantly holds a large
+        tombstone fraction and recycled slots get reused mid-run."""
+
+        def churn(kind: str) -> list[tuple]:
+            rng = random.Random(seed)
+            engine = Engine(equeue=kind)
+            log: list[tuple] = []
+            pool: list = []
+
+            def tick(n):
+                log.append((round(engine.now, 12), n))
+                replace = n < 3000
+                for _ in range(min(3, len(pool))):
+                    victim = pool.pop(rng.randrange(len(pool)))
+                    if victim.state == 0:
+                        victim.cancel()
+                    if replace:
+                        pool.append(
+                            engine.schedule(
+                                rng.uniform(0.0, 4 * WIDTH), tick, n + 7
+                            )
+                        )
+
+            for i in range(30):
+                pool.append(
+                    engine.schedule_at(rng.uniform(0.0, WIDTH), tick, i)
+                )
+            engine.run(until=1.0, max_events=100_000)
+            return log
+
+        logs = [churn(kind) for kind in KINDS]
+        assert logs[0] == logs[1] == logs[2]
+        assert len(logs[0]) > 200
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_observer_seam_sequence_identical(self, seed):
+        """The ``on_push``/``on_cancel`` notification sequence — what
+        the explorer's incremental fingerprint tracker consumes — must
+        be the same events in the same order on every storage."""
+
+        class Recorder:
+            def __init__(self):
+                self.events: list[tuple] = []
+
+            def on_push(self, record):
+                self.events.append(
+                    ("push", round(record.time, 12), record.seq)
+                )
+
+            def on_cancel(self, record):
+                self.events.append(
+                    ("cancel", round(record.time, 12), record.seq)
+                )
+
+        def observed(kind: str) -> list[tuple]:
+            engine = Engine(equeue=kind)
+            recorder = Recorder()
+            engine.equeue.observer = recorder
+            drive(engine, seed, initial=40)
+            return recorder.events
+
+        seqs = [observed(kind) for kind in KINDS]
+        assert seqs[0] == seqs[1] == seqs[2]
+        assert any(kind == "cancel" for kind, *_ in seqs[0])
 
     def test_exact_tie_fifo_order(self):
         """Ties — including across a bucket boundary value — fire in
@@ -111,11 +186,12 @@ class TestHeapCalendarEquivalence:
 
 
 class TestSparseAdaptation:
-    def test_long_sparse_timer_chain_loses_nothing(self):
+    @pytest.mark.parametrize("kind", ["calendar", "columnar"])
+    def test_long_sparse_timer_chain_loses_nothing(self, kind):
         """>WINDOW singleton buckets trigger the width rebuild; every
         event must survive it (regression: the rebuild used to drop the
         bucket being swapped in)."""
-        engine = Engine(equeue="calendar")
+        engine = Engine(equeue=kind)
         fired = []
         n = 3 * CalendarQueue._WINDOW
         for i in range(n):
@@ -128,9 +204,9 @@ class TestSparseAdaptation:
         assert queue._width > CalendarQueue.DEFAULT_WIDTH  # it adapted
 
     def test_mixed_sparse_then_dense(self):
-        log_heap = []
-        log_cal = []
-        for kind, log in (("heap", log_heap), ("calendar", log_cal)):
+        logs = []
+        for kind in KINDS:
+            log: list = []
             engine = Engine(equeue=kind)
 
             def burst(t, log=log, engine=engine):
@@ -141,7 +217,38 @@ class TestSparseAdaptation:
             for i in range(1200):
                 engine.schedule_at(i * 2e-3, burst, i)
             engine.run_until_idle()
-        assert log_heap == log_cal
+            logs.append(log)
+        assert logs[0] == logs[1] == logs[2]
+
+    @pytest.mark.parametrize("kind", ["calendar", "columnar"])
+    def test_width_shrinks_back_when_traffic_reconcentrates(self, kind):
+        """Regression for the width ratchet: a sparse burst used to
+        grow bucket widths permanently ("widths never shrink", PR 6
+        notes), so dense traffic after a sparse phase paid long
+        same-bucket scans forever.  The adaptation must now shrink
+        widths back once the sampled density re-concentrates."""
+        engine = Engine(equeue=kind)
+        queue = engine.equeue
+        width0 = queue._width
+        # Phase 1 — sparse singleton buckets: widths grow.
+        n_sparse = 2 * CalendarQueue._WINDOW
+        for i in range(n_sparse):
+            engine.schedule_at(i * 1e-3, lambda: None)
+        engine.run_until_idle()
+        grown = queue._width
+        assert grown > width0
+        # Phase 2 — dense traffic: ~100 events per *grown* bucket for
+        # more than an adaptation window's worth of buckets.
+        fired = []
+        base = engine.now
+        spacing = grown / 100
+        n_dense = (CalendarQueue._WINDOW + 8) * 100
+        for i in range(n_dense):
+            engine.schedule_at(base + i * spacing, fired.append, i)
+        engine.run_until_idle()
+        assert fired == list(range(n_dense))  # nothing lost in rebuilds
+        assert queue._width < grown  # the ratchet released
+        assert queue._width >= width0  # but never below the floor
 
 
 class TestCancellationAndCompaction:
@@ -187,13 +294,18 @@ class TestCancellationAndCompaction:
         assert engine.pending() == 0
         assert not survivor.cancelled and survivor.finished
 
-    def test_pending_is_o1_counter(self):
+    def test_pending_is_o1_counter(self, monkeypatch):
         # Not a timing assertion: just that pending() answers without
-        # touching storage internals (monkeypatch snapshot to explode).
+        # touching storage internals (monkeypatch snapshot to explode;
+        # the queue classes carry __slots__, so patch the class).
         engine = Engine()
         for i in range(100):
             engine.schedule(i * 1e-3, lambda: None)
-        engine.equeue.snapshot = None  # any scan would raise
+
+        def boom(self):  # pragma: no cover - must not run
+            raise AssertionError("pending() scanned the storage")
+
+        monkeypatch.setattr(type(engine.equeue), "snapshot", boom)
         assert engine.pending() == 100
 
 
@@ -208,7 +320,7 @@ class _Consulted(Scheduler):
 class TestMigration:
     def test_install_scheduler_migrates_to_heap_and_back(self):
         engine = Engine()
-        assert engine.equeue.kind == "calendar"
+        assert engine.equeue.kind == "columnar"
         fired = []
         for i in range(20):
             engine.schedule_at(i * 0.4 * WIDTH, fired.append, i)
@@ -217,9 +329,18 @@ class TestMigration:
         assert engine.equeue.kind == "heap"
         assert engine.pending() == 21
         engine.install_scheduler(None)
-        assert engine.equeue.kind == "calendar"
+        assert engine.equeue.kind == "columnar"
         engine.run_until_idle()
         assert fired == [0, "tie-breaker"] + list(range(1, 20))
+
+    def test_removal_migrates_back_to_the_constructed_kind(self):
+        # The migrate-back target is the storage the engine was built
+        # with, not a hard-coded kind.
+        engine = Engine(equeue="calendar")
+        engine.install_scheduler(_Consulted())
+        assert engine.equeue.kind == "heap"
+        engine.install_scheduler(None)
+        assert engine.equeue.kind == "calendar"
 
     def test_pure_default_scheduler_skips_the_migration(self):
         # A scheduler that overrides neither decide nor wants can only
@@ -231,9 +352,43 @@ class TestMigration:
             engine.schedule_at(i * 0.4 * WIDTH, fired.append, i)
         engine.schedule_at(0.2 * WIDTH, fired.append, "tie-breaker")
         engine.install_scheduler(Scheduler())
-        assert engine.equeue.kind == "calendar"
+        assert engine.equeue.kind == "columnar"
         engine.run_until_idle()
         assert fired == [0, "tie-breaker"] + list(range(1, 20))
+
+    @pytest.mark.parametrize("src", KINDS)
+    @pytest.mark.parametrize("dst", KINDS)
+    def test_from_queue_every_direction(self, src, dst):
+        """All six cross-kind migrations (plus the three identity
+        ones): pending set, tombstones, seq, FIFO ties and the ability
+        to cancel through pre-migration handles must all survive."""
+        engine = Engine(equeue=src)
+        fired = []
+        handles = [
+            engine.schedule_at((i % 7) * WIDTH, fired.append, i)
+            for i in range(40)
+        ]
+        handles[5].cancel()
+        engine._migrate(EQUEUES[dst])
+        assert engine.equeue.kind == dst
+        assert engine.pending() == 39
+        # A handle issued by the *source* queue must still cancel
+        # cleanly on the destination queue.
+        handles[7].cancel()
+        # And a post-migration same-time push must tie-break after the
+        # migrated entries (seq carried over).
+        engine.schedule_at(0.0, fired.append, "post")
+        engine.run_until_idle()
+        expected = sorted(
+            (i for i in range(40) if i not in (5, 7)),
+            key=lambda i: (i % 7, i),
+        )
+        expected.insert(
+            sum(1 for i in range(40) if i % 7 == 0 and i not in (5, 7)),
+            "post",
+        )
+        assert fired == expected
+        assert engine.pending() == 0
 
     def test_migration_carries_seq_so_later_ties_stay_fifo(self):
         engine = Engine()
@@ -258,9 +413,10 @@ class TestMigration:
 
 class TestRegistry:
     def test_kinds(self):
-        assert set(EQUEUES) == {"heap", "calendar"}
+        assert set(EQUEUES) == {"heap", "calendar", "columnar"}
         assert isinstance(make_equeue("heap"), BinaryHeapQueue)
         assert isinstance(make_equeue("calendar"), CalendarQueue)
+        assert isinstance(make_equeue("columnar"), ColumnarQueue)
 
     def test_instance_passthrough(self):
         queue = CalendarQueue(width=1e-3)
@@ -274,6 +430,8 @@ class TestRegistry:
     def test_bad_width_raises(self):
         with pytest.raises(ValueError, match="width"):
             CalendarQueue(width=0.0)
+        with pytest.raises(ValueError, match="width"):
+            ColumnarQueue(width=-1.0)
 
     def test_abstract_interface(self):
         base = EventQueue()

@@ -1,0 +1,27 @@
+"""The allocation-discipline lint passes on the checked-in tree.
+
+``tools/hotpath_lint.py`` is CI's guard on the event-core hot path
+(``__slots__`` everywhere, no ``getattr``/dict literals in the fused
+drain loops); running it under pytest too means a regression fails the
+ordinary test suite as well, with the lint's own diagnostics attached.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_hotpath_lint_passes():
+    proc = subprocess.run(
+        [sys.executable, str(_ROOT / "tools" / "hotpath_lint.py")],
+        capture_output=True,
+        text=True,
+        cwd=_ROOT,
+        env={"PYTHONPATH": str(_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK" in proc.stdout, proc.stdout

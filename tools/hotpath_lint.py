@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Allocation-discipline lint for the event-core hot path.
+
+The PR 8 columnar event core holds its per-event cost down by two
+disciplines that nothing in the type system enforces:
+
+* **no instance dicts** — every class in the hot modules
+  (``sim/equeue.py``, ``sim/engine.py``, ``net/frame.py``) declares
+  ``__slots__`` (directly or via ``@dataclass(slots=True)``), so
+  attribute access compiles to fixed-offset loads and no per-instance
+  ``__dict__`` is allocated;
+* **no reflective dispatch in the fused drain** — the drain loops
+  (``EventQueue.drain`` implementations and ``Engine.drain_until``)
+  bind their columns to locals once and never call ``getattr`` or
+  build a dict literal per event.
+
+Both are trivially easy to regress with an innocent-looking edit, and
+neither regression fails a functional test — they just quietly give
+back the ledger's ns/event.  CI runs this script so the regression is
+loud instead.
+
+Checks are deliberately layered: ``__slots__`` is verified at runtime
+(importing the module sees exactly what CPython sees, including
+dataclass-generated slots), while the drain bodies are checked on the
+AST (a banned call is banned even on a path the benchmark never hits).
+
+Usage::
+
+    PYTHONPATH=src python tools/hotpath_lint.py
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+import sys
+from pathlib import Path
+
+#: Modules whose classes must all declare ``__slots__``.  Exception
+#: types are exempt: ``BaseException`` instances carry a ``__dict__``
+#: regardless, and none sit on a hot path.
+SLOTTED_MODULES = (
+    "repro.sim.equeue",
+    "repro.sim.engine",
+    "repro.net.frame",
+)
+
+#: (module, method) bodies that must stay free of ``getattr`` calls
+#: and dict-literal allocations: the fused drain loops.
+DRAIN_METHODS = (
+    ("repro.sim.equeue", "drain"),
+    ("repro.sim.engine", "drain_until"),
+)
+
+
+def check_slots(module_name: str) -> list[str]:
+    module = importlib.import_module(module_name)
+    problems = []
+    for name, cls in vars(module).items():
+        if not inspect.isclass(cls) or cls.__module__ != module_name:
+            continue
+        if issubclass(cls, BaseException):
+            continue
+        if "__slots__" not in cls.__dict__:
+            problems.append(
+                f"{module_name}.{name}: no __slots__ declaration "
+                f"(instances allocate a __dict__)"
+            )
+    return problems
+
+
+def _drain_defs(tree: ast.Module, method: str) -> list[tuple[str, ast.FunctionDef]]:
+    found = []
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and item.name == method:
+                    found.append((f"{node.name}.{method}", item))
+    return found
+
+
+def check_drain(module_name: str, method: str) -> list[str]:
+    source_path = Path(
+        importlib.import_module(module_name).__file__  # type: ignore[arg-type]
+    )
+    tree = ast.parse(source_path.read_text(), filename=str(source_path))
+    defs = _drain_defs(tree, method)
+    if not defs:
+        return [f"{module_name}: no {method!r} method found to lint"]
+    problems = []
+    for qualname, fn in defs:
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "getattr"
+            ):
+                problems.append(
+                    f"{module_name}:{node.lineno} {qualname}: getattr() "
+                    f"in the fused drain (reflective dispatch per event)"
+                )
+            elif isinstance(node, (ast.Dict, ast.DictComp)):
+                problems.append(
+                    f"{module_name}:{node.lineno} {qualname}: dict "
+                    f"literal in the fused drain (allocation per event)"
+                )
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    for module_name in SLOTTED_MODULES:
+        problems += check_slots(module_name)
+    for module_name, method in DRAIN_METHODS:
+        problems += check_drain(module_name, method)
+    if problems:
+        print("hotpath-lint: allocation discipline regressed:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    drains = sum(
+        len(_drain_defs(
+            ast.parse(Path(
+                importlib.import_module(m).__file__
+            ).read_text()), meth,
+        ))
+        for m, meth in DRAIN_METHODS
+    )
+    print(
+        f"hotpath-lint: OK ({len(SLOTTED_MODULES)} modules slotted, "
+        f"{drains} drain loops clean)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
