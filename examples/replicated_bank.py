@@ -1,99 +1,106 @@
 #!/usr/bin/env python
-"""State-machine replication on top of atomic broadcast.
+"""The sharded replicated bank: state-machine replication at scale.
 
-The canonical application the paper's introduction motivates: a
+The canonical application the paper's introduction motivates — a
 replicated service stays consistent *because* every replica applies the
-same commands in the same order.  Here each of five processes hosts a
-bank-account state machine; clients issue concurrent transfers through
-different replicas; one replica crashes mid-run; the survivors end with
-identical balances.
+same commands in the same order — grown to the ROADMAP's scale: the
+accounts are partitioned over ``k`` independent abcast groups (each a
+full Algorithm 1 + indirect Chandra-Toueg stack) behind a key-hashed
+router.  Transfers between accounts on one shard ride that shard's
+total order; transfers *across* shards run a two-group commit whose
+prepare and outcome messages are themselves atomically broadcast inside
+each participant group.
 
-The stack is Algorithm 1 + the indirect Chandra-Toueg consensus at its
-maximum resilience (f = 2 of n = 5).
+Mid-run, one shard's consensus coordinator (its lowest-numbered
+process, the Chandra-Toueg round-1 coordinator) crashes; the group's
+remaining replicas ride through it, cross-shard transfers keep
+committing, and at the end:
 
-Run:  python examples/replicated_bank.py
+* every group's abcast trace passes the paper's checkers,
+* the cross-group checker (per-key placement + order, two-group-commit
+  atomicity) passes,
+* surviving replicas of each shard hold identical balances, and the
+  service-wide total is conserved.
+
+Run:  python examples/replicated_bank.py [shards]   (default k=4)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import sys
 
-from repro import CrashSchedule, StackSpec, build_system, check_abcast, make_payload
+from repro import CrashSchedule, StackSpec
+from repro.shard import ShardSpec, build_sharded_system
+from repro.shard.bank import ShardedBank, attach_machines, spread_accounts
 
-
-@dataclass(frozen=True)
-class Transfer:
-    """A command for the replicated state machine."""
-
-    src: str
-    dst: str
-    amount: int
+ACCOUNTS = [f"acct-{c}" for c in "ABCDEFGHIJKLMNOP"]
 
 
-class BankReplica:
-    """One replica: applies adelivered transfers to its local balances."""
+def main(shards: int = 4) -> None:
+    # Each shard is the same registry-built stack the single-group
+    # experiments use; n=3 tolerates f=1 crash per group.
+    spec = ShardSpec(
+        stack=StackSpec(n=3, abcast="indirect", consensus="ct-indirect", seed=42),
+        shards=shards,
+    )
+    # Crash shard 0's p1 — the CT round-1 coordinator — at t=12 ms,
+    # while transfers (including cross-shard legs) are in flight.
+    service = build_sharded_system(
+        spec, crashes={0: CrashSchedule.single(1, 0.012)}
+    )
 
-    def __init__(self, pid: int, abcast) -> None:
-        self.pid = pid
-        self.balances = {"A": 100, "B": 100, "C": 100}
-        self.applied: list[Transfer] = []
-        abcast.on_adeliver(self._apply)
+    accounts = spread_accounts(ACCOUNTS, shards)
+    machines = attach_machines(service, lambda shard: accounts[shard])
+    bank = ShardedBank(service)
+    initial_total = 100 * len(ACCOUNTS)
 
-    def _apply(self, message) -> None:
-        cmd: Transfer = message.payload.content
-        # Deterministic command semantics: refuse overdrafts identically
-        # at every replica.
-        if self.balances[cmd.src] >= cmd.amount:
-            self.balances[cmd.src] -= cmd.amount
-            self.balances[cmd.dst] += cmd.amount
-            self.applied.append(cmd)
+    # Clients hammer the service: a transfer between every adjacent
+    # account pair, so the mix contains both same-shard operations and
+    # cross-shard two-group commits (which pair is which follows from
+    # the stable hash, not from this script).
+    for i in range(len(ACCOUNTS)):
+        src = ACCOUNTS[i]
+        dst = ACCOUNTS[(i + 1) % len(ACCOUNTS)]
+        bank.transfer(src, dst, 5 + i)
+    bank.deposit(ACCOUNTS[0], 25)
+    bank.withdraw(ACCOUNTS[1], 10_000)  # refused identically everywhere
 
+    assert service.run_until_quiescent(timeout=5.0), "service wedged"
+    service.check()  # per-group abcast + cross-group shard checkers
 
-def main() -> None:
-    # StackSpec resolves variant names through the layer registry, so a
-    # typo fails with a did-you-mean suggestion, not a deep KeyError.
-    spec = StackSpec(n=5, abcast="indirect", consensus="ct-indirect", seed=42)
-    system = build_system(spec, CrashSchedule.single(3, 0.040))
-    replicas = {
-        pid: BankReplica(pid, system.abcasts[pid])
-        for pid in system.config.processes
-    }
+    print(
+        f"{shards} shards; shard 0's coordinator crashed at t=12 ms; "
+        f"{bank.cross_shard} cross-shard tx "
+        f"({service.commit.committed} committed, "
+        f"{service.commit.aborted} aborted), "
+        f"{bank.same_shard} same-shard transfers"
+    )
 
-    # Concurrent clients hammer different replicas, including the one
-    # that is about to crash.
-    commands = [
-        (1, 0.000, Transfer("A", "B", 30)),
-        (2, 0.001, Transfer("B", "C", 55)),
-        (3, 0.002, Transfer("C", "A", 20)),
-        (4, 0.003, Transfer("A", "C", 90)),   # may be refused if A is low
-        (5, 0.004, Transfer("B", "A", 10)),
-        (1, 0.050, Transfer("C", "B", 5)),    # after the crash
-        (2, 0.060, Transfer("A", "B", 1)),
-    ]
-    for pid, at, cmd in commands:
-        system.processes[pid].schedule_at(
-            at,
-            lambda _pid=pid, _cmd=cmd: system.abcasts[_pid].abroadcast(
-                make_payload(24, content=_cmd)
-            ),
+    total = 0
+    for shard, group in enumerate(service.groups):
+        survivors = sorted(group.correct_processes())
+        reference = machines[(shard, survivors[0])]
+        for pid in survivors:
+            machine = machines[(shard, pid)]
+            assert machine.balances == reference.balances, (
+                f"shard {shard}: replica {pid} diverged"
+            )
+            assert not machine.reserved, (
+                f"shard {shard}: replica {pid} left in-doubt reservations"
+            )
+        total += reference.total()
+        print(
+            f"  shard {shard}: replicas {survivors} agree on "
+            f"{len(reference.balances)} accounts "
+            f"(applied={reference.applied}, refused={reference.refused})"
         )
 
-    system.run(until=3.0, max_events=3_000_000)
-    check_abcast(system.trace, system.config)
-
-    survivors = sorted(system.correct_processes())
-    print(f"replica 3 crashed at t=40 ms; survivors: {survivors}")
-    reference = replicas[survivors[0]]
-    for pid in survivors:
-        replica = replicas[pid]
-        print(f"  replica {pid}: balances={replica.balances} "
-              f"applied={len(replica.applied)} commands")
-        assert replica.balances == reference.balances
-        assert replica.applied == reference.applied
-    total = sum(reference.balances.values())
-    assert total == 300, "money is conserved"
-    print("\nAll surviving replicas agree; total balance conserved at 300.")
+    assert total == initial_total + 25, "money is conserved"
+    print(
+        f"\nAll surviving replicas agree; total conserved at {total} "
+        f"({initial_total} initial + 25 deposited)."
+    )
 
 
 if __name__ == "__main__":
-    main()
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

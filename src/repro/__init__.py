@@ -30,7 +30,12 @@ Quickstart::
 See ``examples/quickstart.py`` for the guided version.
 """
 
-from repro.checkers import check_abcast, check_broadcast, check_consensus
+from repro.checkers import (
+    check_abcast,
+    check_broadcast,
+    check_consensus,
+    check_shards,
+)
 from repro.explore import (
     ExploreSpec,
     explore,
@@ -56,13 +61,26 @@ from repro.net.faults import (
 )
 from repro.net.setups import SETUP_1, SETUP_2
 from repro.net.topology import Topology
+from repro.shard import (
+    ShardSpec,
+    ShardSweepSpec,
+    build_sharded_system,
+    run_shard_sweep,
+    shard_for,
+)
 from repro.stack import StackSpec, System, build_system
-from repro.workload import ClosedLoopWorkload, SymmetricWorkload
+from repro.workload import (
+    BurstyWorkload,
+    ClosedLoopWorkload,
+    PoissonWorkload,
+    SymmetricWorkload,
+)
 
 __version__ = "1.2.0"
 
 __all__ = [
     "AppMessage",
+    "BurstyWorkload",
     "ClosedLoopWorkload",
     "CrashSchedule",
     "DelayRule",
@@ -74,23 +92,30 @@ __all__ = [
     "PROBES",
     "PartitionSchedule",
     "PartitionWindow",
+    "PoissonWorkload",
     "Probe",
     "ProcessId",
     "SETUP_1",
     "SETUP_2",
+    "ShardSpec",
+    "ShardSweepSpec",
     "StackSpec",
     "Topology",
     "SymmetricWorkload",
     "System",
     "SystemConfig",
+    "build_sharded_system",
     "build_system",
     "check_abcast",
     "check_broadcast",
     "check_consensus",
+    "check_shards",
     "explore",
     "explore_spec",
     "make_payload",
     "measure_latency",
     "registry_explore_specs",
     "replay",
+    "run_shard_sweep",
+    "shard_for",
 ]

@@ -20,12 +20,15 @@ checker reports it.
 from repro.checkers.abcast import AbcastChecker, check_abcast
 from repro.checkers.broadcast import BroadcastChecker, check_broadcast
 from repro.checkers.consensus import ConsensusChecker, check_consensus
+from repro.checkers.shard import ShardChecker, check_shards
 
 __all__ = [
     "AbcastChecker",
     "BroadcastChecker",
     "ConsensusChecker",
+    "ShardChecker",
     "check_abcast",
     "check_broadcast",
     "check_consensus",
+    "check_shards",
 ]

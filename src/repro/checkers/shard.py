@@ -1,0 +1,224 @@
+"""Cross-group checker for the sharded service.
+
+The per-group :class:`~repro.checkers.abcast.AbcastChecker` already
+guarantees a total order *inside* each shard.  What it cannot see is
+the contract *across* shards, which is what a partitioned service adds:
+
+* **Key placement** — every operation is delivered only by the group
+  that owns its keys under the stable hash
+  (:func:`~repro.shard.router.shard_for`).  Placement + per-group total
+  order is what makes "per-key total order" a global property.
+* **Per-key order** — any two processes that deliver operations on the
+  same key agree on their relative order.
+* **Two-group atomicity** — a transaction's outcome is single-valued
+  across groups: no group sees both commit and abort, no two groups see
+  different outcomes, no outcome appears in a group that never
+  delivered the prepare leg, and (on quiescent traces) an outcome
+  delivered anywhere reaches every participant group that still has
+  correct processes.
+* **Outcome order** — no process delivers a transaction's outcome
+  before that group's prepare leg.
+
+Everything is computed from the per-group traces alone (operation
+payloads travel as ``Payload.content``), so hand-crafted traces can
+exercise every violation — see
+``tests/checkers/test_checker_violations.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.config import SystemConfig
+from repro.core.exceptions import ProtocolViolationError
+from repro.core.identifiers import MessageId, ProcessId
+from repro.shard.ops import TxAbort, TxCommit, TxPrepare, op_keys
+from repro.shard.router import shard_for
+from repro.sim.trace import Trace
+
+
+class ShardChecker:
+    """Evaluates the cross-group properties on per-group traces.
+
+    Args:
+        traces: One quiescent :class:`~repro.sim.trace.Trace` per
+            group, in shard order.
+        config: The per-group system config (the groups are built from
+            one stack template, so one config describes them all).
+        shard_of: Key→shard assignment; defaults to the router's stable
+            hash over ``len(traces)`` shards.
+    """
+
+    def __init__(
+        self,
+        traces: Sequence[Trace],
+        config: SystemConfig,
+        shard_of: Callable[[str], int] | None = None,
+    ) -> None:
+        self.traces = list(traces)
+        self.config = config
+        self.shard_of = shard_of or (
+            lambda key: shard_for(key, len(self.traces))
+        )
+        #: Per group: pid -> time-ordered (mid, content) deliveries.
+        self._delivered: list[dict[ProcessId, list[tuple[MessageId, object]]]]
+        self._delivered = [
+            {
+                pid: [
+                    (e.message.mid, e.message.payload.content)
+                    for e in trace.adeliveries(pid)
+                ]
+                for pid in config.processes
+            }
+            for trace in self.traces
+        ]
+
+    def check_key_placement(self) -> None:
+        """Operations are delivered only by their keys' owning group."""
+        for shard, by_pid in enumerate(self._delivered):
+            for pid, deliveries in by_pid.items():
+                for mid, content in deliveries:
+                    for key in op_keys(content):
+                        owner = self.shard_of(key)
+                        if owner != shard:
+                            raise ProtocolViolationError(
+                                "Shard key placement",
+                                f"group {shard} p{pid} adelivered {mid} "
+                                f"touching key {key!r}, owned by group "
+                                f"{owner}",
+                            )
+
+    def check_per_key_order(self) -> None:
+        """Processes agree on the relative order of same-key operations.
+
+        For each group and key: restrict every process's delivery
+        sequence to the messages touching that key; any two restricted
+        sequences must agree on their common messages.
+        """
+        for shard, by_pid in enumerate(self._delivered):
+            per_key: dict[str, dict[ProcessId, list[MessageId]]] = {}
+            for pid, deliveries in by_pid.items():
+                for mid, content in deliveries:
+                    for key in op_keys(content):
+                        per_key.setdefault(key, {}).setdefault(
+                            pid, []
+                        ).append(mid)
+            for key, sequences in per_key.items():
+                positions = {
+                    pid: {mid: i for i, mid in enumerate(seq)}
+                    for pid, seq in sequences.items()
+                }
+                pids = sorted(sequences)
+                for i, p in enumerate(pids):
+                    for q in pids[i + 1 :]:
+                        common = positions[p].keys() & positions[q].keys()
+                        by_p = sorted(common, key=positions[p].__getitem__)
+                        by_q = sorted(common, key=positions[q].__getitem__)
+                        if by_p != by_q:
+                            raise ProtocolViolationError(
+                                "Shard per-key order",
+                                f"group {shard}: p{p} and p{q} deliver "
+                                f"operations on key {key!r} in "
+                                f"contradictory orders",
+                            )
+
+    def _tx_view(self) -> tuple[dict, dict]:
+        """Per txid: groups that delivered prepares / outcomes."""
+        prepared: dict[str, set[int]] = {}
+        outcomes: dict[str, dict[int, set[str]]] = {}
+        for shard, by_pid in enumerate(self._delivered):
+            for deliveries in by_pid.values():
+                for _mid, content in deliveries:
+                    if isinstance(content, TxPrepare):
+                        prepared.setdefault(content.txid, set()).add(shard)
+                    elif isinstance(content, (TxCommit, TxAbort)):
+                        kind = (
+                            "commit"
+                            if isinstance(content, TxCommit)
+                            else "abort"
+                        )
+                        outcomes.setdefault(content.txid, {}).setdefault(
+                            shard, set()
+                        ).add(kind)
+        return prepared, outcomes
+
+    def check_commit_atomicity(self, expect_quiescent: bool = True) -> None:
+        """A transaction's outcome is one value, everywhere it matters."""
+        prepared, outcomes = self._tx_view()
+        for txid, by_shard in outcomes.items():
+            seen: set[str] = set()
+            for shard, kinds in by_shard.items():
+                if len(kinds) > 1:
+                    raise ProtocolViolationError(
+                        "Two-group atomicity",
+                        f"group {shard} delivered both commit and abort "
+                        f"for {txid!r}",
+                    )
+                if shard not in prepared.get(txid, set()):
+                    raise ProtocolViolationError(
+                        "Two-group atomicity",
+                        f"group {shard} delivered an outcome for "
+                        f"{txid!r} without ever delivering its prepare",
+                    )
+                seen.update(kinds)
+            if len(seen) > 1:
+                raise ProtocolViolationError(
+                    "Two-group atomicity",
+                    f"groups disagree on {txid!r}: "
+                    f"{ {s: sorted(k) for s, k in sorted(by_shard.items())} }",
+                )
+        if not expect_quiescent:
+            return
+        for txid, shards in prepared.items():
+            decided = outcomes.get(txid, {})
+            if not decided:
+                continue  # still in doubt everywhere: liveness, not safety
+            for shard in shards:
+                if shard in decided:
+                    continue
+                alive = self.traces[shard].correct_processes(
+                    self.config.processes
+                )
+                if alive:
+                    raise ProtocolViolationError(
+                        "Two-group atomicity",
+                        f"{txid!r} decided in groups "
+                        f"{sorted(decided)} but participant group "
+                        f"{shard} (with correct processes) never "
+                        f"delivered an outcome",
+                    )
+
+    def check_outcome_order(self) -> None:
+        """No process delivers an outcome before its prepare leg."""
+        for shard, by_pid in enumerate(self._delivered):
+            for pid, deliveries in by_pid.items():
+                prepared_here: set[str] = set()
+                for _mid, content in deliveries:
+                    if isinstance(content, TxPrepare):
+                        prepared_here.add(content.txid)
+                    elif isinstance(content, (TxCommit, TxAbort)):
+                        if content.txid not in prepared_here:
+                            raise ProtocolViolationError(
+                                "Shard outcome order",
+                                f"group {shard} p{pid} delivered the "
+                                f"outcome of {content.txid!r} before its "
+                                f"prepare leg",
+                            )
+
+    def check_all(self, expect_quiescent: bool = True) -> None:
+        """Run every cross-group check."""
+        self.check_key_placement()
+        self.check_per_key_order()
+        self.check_outcome_order()
+        self.check_commit_atomicity(expect_quiescent=expect_quiescent)
+
+
+def check_shards(
+    traces: Sequence[Trace],
+    config: SystemConfig,
+    expect_quiescent: bool = True,
+) -> None:
+    """Convenience wrapper: run all cross-group checks."""
+    ShardChecker(traces, config).check_all(
+        expect_quiescent=expect_quiescent
+    )

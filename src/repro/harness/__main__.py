@@ -358,8 +358,11 @@ def main(argv: list[str] | None = None) -> int:
         # One columnar export of every point of every selected figure;
         # nothing else on stdout, so the output pipes cleanly.
         figures_data = [build(quick, options) for build in builds]
+        # Different figures measure different probe sets, so this is
+        # the intended-heterogeneous case: union-pad, don't reject.
         out = render_resultset(
-            concat([f.resultset for f in figures_data]), format=args.format,
+            concat([f.resultset for f in figures_data], strict=False),
+            format=args.format,
         )
         sys.stdout.write(out if out.endswith("\n") else out + "\n")
         return 0

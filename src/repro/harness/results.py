@@ -140,6 +140,13 @@ class ResultSet:
     def from_suite(cls, suite: "SuiteResult") -> "ResultSet":
         return cls.from_results(suite.results)
 
+    @classmethod
+    def concat(
+        cls, sets: Iterable["ResultSet"], strict: bool = True
+    ) -> "ResultSet":
+        """Stack result sets row-wise; see module-level :func:`concat`."""
+        return concat(sets, strict=strict)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -254,8 +261,17 @@ class ResultSet:
         return json.dumps(self.to_rows(), indent=indent)
 
 
-def concat(sets: Iterable[ResultSet]) -> ResultSet:
-    """Stack result sets row-wise (column union, order preserved).
+def concat(sets: Iterable[ResultSet], strict: bool = True) -> ResultSet:
+    """Stack result sets row-wise.
+
+    By default the inputs must share one schema — same columns, same
+    order — and a mismatch raises :class:`ValueError` *naming the
+    differing columns* (a silent union used to pad the holes with
+    ``None``, which reads as "this point measured nothing" three
+    operators later; merging per-shard slices is exactly where that
+    bites).  Pass ``strict=False`` for the old union-with-``None``
+    behaviour when heterogeneous inputs are intended (e.g. stacking
+    figures that measured different probe sets).
 
     Column restrictions applied by the inputs (``select``) survive: the
     output has exactly the union of the inputs' columns, never the full
@@ -263,6 +279,32 @@ def concat(sets: Iterable[ResultSet]) -> ResultSet:
     input still has them.
     """
     sets = list(sets)
+    if strict and sets:
+        reference = sets[0].columns
+        for index, rs in enumerate(sets[1:], start=1):
+            if rs.columns == reference:
+                continue
+            missing = [c for c in reference if c not in rs.columns]
+            extra = [c for c in rs.columns if c not in reference]
+            if missing or extra:
+                detail = "; ".join(
+                    part
+                    for part in (
+                        f"missing {missing}" if missing else "",
+                        f"unexpected {extra}" if extra else "",
+                    )
+                    if part
+                )
+                raise ValueError(
+                    f"concat schema mismatch: input {index} vs input 0: "
+                    f"{detail} (pass strict=False to union-pad with None)"
+                )
+            raise ValueError(
+                f"concat schema mismatch: input {index} has the same "
+                f"columns as input 0 but in a different order: "
+                f"{list(rs.columns)} vs {list(reference)} "
+                f"(pass strict=False to union-pad)"
+            )
     names: list[str] = []
     seen: set[str] = set()
     for rs in sets:

@@ -1,0 +1,134 @@
+"""Two-group commit layered on per-group total order.
+
+Cross-shard operations need atomicity *across* two independent total
+orders.  The classic fix — and the one this module implements — is a
+presumed-nothing two-phase commit where each phase is itself atomically
+broadcast inside the participant groups:
+
+1. The coordinator abroadcasts one :class:`~repro.shard.ops.TxPrepare`
+   leg in every participant group (through the router's control-plane
+   entry, so admission control cannot shed a transaction half).
+2. Every replica of a group adelivers the prepare at the same position
+   in its group's total order and applies it deterministically
+   (reserve funds, validate, ...), producing the **same vote** at every
+   correct replica.  Replicas report their vote to the coordinator
+   (with a simulated latency, via their own crash-guarded timers); the
+   coordinator takes the *first* vote per (transaction, group) —
+   any later ones are identical by construction, so waiting for a
+   quorum would add latency without information.
+3. When every leg has voted, the coordinator abroadcasts
+   :class:`~repro.shard.ops.TxCommit` (all yes) or
+   :class:`~repro.shard.ops.TxAbort` into every participant group;
+   replicas finalize or roll back their reservation when the outcome
+   reaches them in their group's order.
+
+The coordinator itself is infrastructure (it cannot crash — the
+interesting failure mode here is crashing the *group-internal*
+consensus coordinator mid-transaction, which the abcast stacks already
+tolerate; the sharded bank example does exactly that).  Atomicity is
+checked from traces alone by
+:meth:`repro.checkers.shard.ShardChecker.check_commit_atomicity`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.message import make_payload
+from repro.shard.ops import TxAbort, TxCommit, TxPrepare
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.shard.router import Router
+
+
+class TwoGroupCommit:
+    """Coordinator for cross-group transactions.
+
+    Args:
+        router: The service router; used for its group list and its
+            admission-free :meth:`~repro.shard.router.Router.inject`.
+        payload_size: Wire size modeled for prepare/outcome messages.
+
+    Attributes:
+        committed / aborted: Decided-transaction counters.
+    """
+
+    def __init__(self, router: "Router", payload_size: int = 64) -> None:
+        self.router = router
+        self.payload_size = payload_size
+        self._legs: dict[str, tuple[int, ...]] = {}
+        self._votes: dict[str, dict[int, bool]] = {}
+        self._outcome: dict[str, str] = {}
+        self.committed = 0
+        self.aborted = 0
+
+    def submit(self, legs: dict[int, TxPrepare]) -> str:
+        """Start a transaction; one prepare leg per participant group.
+
+        Returns the transaction id.  Every leg must carry the same
+        ``txid`` and name a key owned by its group (the router's hash
+        is authoritative); ids must be fresh.
+        """
+        if not legs:
+            raise ConfigurationError("a transaction needs at least one leg")
+        txids = {prepare.txid for prepare in legs.values()}
+        if len(txids) != 1:
+            raise ConfigurationError(f"legs disagree on txid: {sorted(txids)}")
+        (txid,) = txids
+        if txid in self._legs:
+            raise ConfigurationError(f"txid {txid!r} already submitted")
+        for shard, prepare in legs.items():
+            owner = self.router.shard_of(prepare.key)
+            if owner != shard:
+                raise ConfigurationError(
+                    f"leg for key {prepare.key!r} submitted to shard "
+                    f"{shard} but the key hashes to shard {owner}"
+                )
+        self._legs[txid] = tuple(sorted(legs))
+        self._votes[txid] = {}
+        for shard in self._legs[txid]:
+            message = self.router.inject(
+                shard, make_payload(self.payload_size, legs[shard])
+            )
+            if message is None:
+                # Group entirely crashed: it can never vote yes.
+                self.report_vote(shard, txid, False)
+        return txid
+
+    def report_vote(self, shard: int, txid: str, vote: bool) -> None:
+        """Record one replica's vote; first vote per leg decides it.
+
+        Correct replicas of a group vote identically (the prepare sits
+        at one position in the group's total order), so duplicates are
+        dropped rather than counted.
+        """
+        legs = self._legs.get(txid)
+        if legs is None or txid in self._outcome:
+            return
+        if shard not in legs or shard in self._votes[txid]:
+            return
+        self._votes[txid][shard] = vote
+        if len(self._votes[txid]) == len(legs):
+            self._decide(txid)
+
+    def _decide(self, txid: str) -> None:
+        commit = all(self._votes[txid].values())
+        self._outcome[txid] = "commit" if commit else "abort"
+        if commit:
+            self.committed += 1
+        else:
+            self.aborted += 1
+        outcome = TxCommit(txid) if commit else TxAbort(txid)
+        for shard in self._legs[txid]:
+            self.router.inject(
+                shard, make_payload(self.payload_size, outcome)
+            )
+
+    def outcome_of(self, txid: str) -> str | None:
+        """``"commit"``, ``"abort"``, or ``None`` while undecided."""
+        return self._outcome.get(txid)
+
+    def pending(self) -> int:
+        """Transactions submitted but not yet decided."""
+        return len(self._legs) - len(self._outcome)

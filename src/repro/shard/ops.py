@@ -1,0 +1,77 @@
+"""Operation vocabulary carried through the sharded service.
+
+These frozen dataclasses travel as ``Payload.content`` — the stack
+treats them as opaque, replicas interpret them deterministically, and
+:class:`~repro.checkers.shard.ShardChecker` reads them back out of the
+per-group traces.  Keys are strings; :func:`op_keys` is the single
+definition of which keys an operation touches (routing and the checker
+must agree on it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class KeyOp:
+    """A single-key operation, totally ordered by the owning shard."""
+
+    key: str
+    action: str
+    amount: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Transfer:
+    """A two-key operation whose keys live on the *same* shard.
+
+    Applied atomically by every replica of the owning shard; the client
+    (router/bank) must only route it when both keys hash to one shard —
+    cross-shard movements go through the two-group commit instead.
+    """
+
+    src: str
+    dst: str
+    amount: int
+
+
+@dataclass(frozen=True, slots=True)
+class TxPrepare:
+    """One leg of a two-group commit: reserve/validate ``key``.
+
+    Replicas of the owning shard apply it deterministically (e.g. a
+    bank reserves funds for ``action="debit"``) and vote; identical
+    delivery order makes every correct replica's vote identical.
+    """
+
+    txid: str
+    key: str
+    action: str
+    amount: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class TxCommit:
+    """Outcome broadcast to every leg group: finalize ``txid``."""
+
+    txid: str
+
+
+@dataclass(frozen=True, slots=True)
+class TxAbort:
+    """Outcome broadcast to every leg group: roll back ``txid``."""
+
+    txid: str
+
+
+def op_keys(content: Any) -> tuple[str, ...]:
+    """The keys an operation touches (empty for outcomes/unknowns)."""
+    if isinstance(content, KeyOp):
+        return (content.key,)
+    if isinstance(content, Transfer):
+        return (content.src, content.dst)
+    if isinstance(content, TxPrepare):
+        return (content.key,)
+    return ()

@@ -230,6 +230,8 @@ def build_system(
     crashes: CrashSchedule | None = None,
     trace: TraceObserver | None = None,
     partitions: PartitionSchedule | None = None,
+    engine: Engine | None = None,
+    rngs: RngRegistry | None = None,
 ) -> System:
     """Compose a complete system from ``spec`` (and arm the schedules).
 
@@ -245,6 +247,15 @@ def build_system(
         partitions: Partition schedule armed alongside ``crashes``;
             its windows join any ``PartitionWindow`` rules already in
             ``spec.faults``.
+        engine: Share an existing engine instead of creating one — the
+            seam the sharded service uses to compose k independent
+            groups into one simulation (one clock, k disjoint stacks).
+            Each group still gets its own network, trace and processes;
+            only time is shared.
+        rngs: Share (or substitute) the RNG registry.  The sharded
+            service passes per-group forks of one root registry so the
+            groups' random streams are mutually independent but all
+            derive from the experiment seed.
     """
     abcast_entry = layers.ABCASTS.get(spec.abcast)
 
@@ -275,8 +286,13 @@ def build_system(
     # zero-allocation slot API.  Ordering is identical across stores,
     # so this is never a semantics choice (three-way equivalence suite
     # + golden traces).
-    engine = Engine(equeue="columnar", annotating=isinstance(trace, Trace))
-    rngs = RngRegistry(seed=spec.seed)
+    if engine is None:
+        engine = Engine(equeue="columnar", annotating=isinstance(trace, Trace))
+    elif isinstance(trace, Trace) and not engine.annotating:
+        # A shared engine must annotate if *any* group on it does.
+        engine.annotating = True
+    if rngs is None:
+        rngs = RngRegistry(seed=spec.seed)
 
     network = layers.NETWORKS.get(spec.network).factory(spec, engine, rngs)
     partitions.apply(network)

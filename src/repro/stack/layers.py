@@ -390,6 +390,35 @@ WORKLOADS.register(
 )
 
 
+def _poisson_workload(system, **kwargs):
+    from repro.workload.openloop import PoissonWorkload
+
+    return PoissonWorkload(system, **kwargs)
+
+
+def _bursty_workload(system, **kwargs):
+    from repro.workload.openloop import BurstyWorkload
+
+    return BurstyWorkload(system, **kwargs)
+
+
+# ``aggregate`` marks sources that model the whole client population as
+# one arrival process and accept a ``sink=`` kwarg — the property the
+# shard sweep needs to interpose router admission control.
+WORKLOADS.register(
+    "poisson",
+    "open-loop aggregate: one Poisson arrival process for the group",
+    factory=_poisson_workload,
+    meta={"aggregate": True},
+)
+WORKLOADS.register(
+    "bursty",
+    "open-loop aggregate: MMPP on/off bursts, average rate = throughput",
+    factory=_bursty_workload,
+    meta={"aggregate": True},
+)
+
+
 # ----------------------------------------------------------------------
 # Spec validation and variant enumeration
 # ----------------------------------------------------------------------

@@ -9,12 +9,25 @@ duration.  :class:`~repro.workload.generators.ClosedLoopWorkload` is
 the closed-loop counterpart: each client waits for its own adelivery
 (plus a think time) before sending again.
 
-Both are registered in the ``workload`` layer registry
-(:data:`repro.stack.layers.WORKLOADS`) under the names ``"symmetric"``
-and ``"closed-loop"``, which is what ``ExperimentSpec.workload`` and
-``SweepSpec.workload`` name.
+Beyond the paper's scale, :mod:`repro.workload.openloop` models the
+*aggregate* traffic of millions of clients as a single arrival process
+per group: :class:`~repro.workload.openloop.PoissonWorkload`
+(memoryless) and :class:`~repro.workload.openloop.BurstyWorkload`
+(MMPP on/off) — the sources the sharded service drives its admission
+control and saturation probes with.
+
+All four are registered in the ``workload`` layer registry
+(:data:`repro.stack.layers.WORKLOADS`) under the names ``"symmetric"``,
+``"closed-loop"``, ``"poisson"`` and ``"bursty"``, which is what
+``ExperimentSpec.workload`` and ``SweepSpec.workload`` name.
 """
 
 from repro.workload.generators import ClosedLoopWorkload, SymmetricWorkload
+from repro.workload.openloop import BurstyWorkload, PoissonWorkload
 
-__all__ = ["ClosedLoopWorkload", "SymmetricWorkload"]
+__all__ = [
+    "BurstyWorkload",
+    "ClosedLoopWorkload",
+    "PoissonWorkload",
+    "SymmetricWorkload",
+]

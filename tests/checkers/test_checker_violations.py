@@ -17,7 +17,10 @@ import pytest
 from repro.checkers.abcast import AbcastChecker
 from repro.checkers.broadcast import BroadcastChecker
 from repro.checkers.consensus import ConsensusChecker
+from repro.checkers.shard import ShardChecker
 from repro.core.config import SystemConfig
+from repro.shard.ops import KeyOp, TxAbort, TxCommit, TxPrepare
+from repro.shard.router import shard_for
 from repro.core.events import (
     ABroadcastEvent,
     ADeliverEvent,
@@ -46,10 +49,25 @@ def trace_of(*events):
     return trace
 
 
+def op_msg(origin, seq, content):
+    """A message carrying a shard operation as its payload content."""
+    return AppMessage(
+        mid=MessageId(origin, seq),
+        sender=origin,
+        payload=make_payload(8, content=content),
+    )
+
+
 M1, M2, M3 = msg(1), msg(2), msg(3)
 IDS1 = frozenset({M1.mid})
 CFG2 = SystemConfig(n=2, f=0)
 CFG3 = SystemConfig(n=3, f=1)
+
+# Keys with known owners under the stable 2-shard hash (computed, not
+# guessed — shard_for is process-independent, so this is deterministic).
+_LETTERS = [chr(c) for c in range(ord("A"), ord("Z") + 1)]
+K0, K0B = [k for k in _LETTERS if shard_for(k, 2) == 0][:2]
+K1 = next(k for k in _LETTERS if shard_for(k, 2) == 1)
 
 
 # ----------------------------------------------------------------------
@@ -205,13 +223,101 @@ VIOLATIONS = {
         ),
         (1,), "v-stability",
     ),
+    # --- sharded service (checker takes a *list* of per-group traces) --
+    "shard.check_key_placement": (
+        ShardChecker, CFG2,
+        lambda: [
+            trace_of(
+                # group 0 delivers an operation on K1 — owned by group 1
+                ADeliverEvent(
+                    time=0.1, process=1,
+                    message=op_msg(1, 1, KeyOp(K1, "deposit", 1)),
+                ),
+            ),
+            trace_of(),
+        ],
+        (), "placement",
+    ),
+    "shard.check_per_key_order": (
+        ShardChecker, CFG2,
+        lambda: [
+            trace_of(
+                # p1 and p2 deliver the two K0 operations in opposite
+                # orders — a per-key order contradiction inside group 0
+                ADeliverEvent(
+                    time=0.1, process=1,
+                    message=op_msg(1, 1, KeyOp(K0, "deposit", 1)),
+                ),
+                ADeliverEvent(
+                    time=0.2, process=1,
+                    message=op_msg(2, 1, KeyOp(K0, "withdraw", 1)),
+                ),
+                ADeliverEvent(
+                    time=0.1, process=2,
+                    message=op_msg(2, 1, KeyOp(K0, "withdraw", 1)),
+                ),
+                ADeliverEvent(
+                    time=0.2, process=2,
+                    message=op_msg(1, 1, KeyOp(K0, "deposit", 1)),
+                ),
+            ),
+            trace_of(),
+        ],
+        (), "per-key order",
+    ),
+    "shard.check_outcome_order": (
+        ShardChecker, CFG2,
+        lambda: [
+            trace_of(
+                # outcome delivered before the prepare leg it finalizes
+                ADeliverEvent(
+                    time=0.1, process=1,
+                    message=op_msg(1, 1, TxCommit("tx1")),
+                ),
+                ADeliverEvent(
+                    time=0.2, process=1,
+                    message=op_msg(1, 2, TxPrepare("tx1", K0, "debit", 1)),
+                ),
+            ),
+            trace_of(),
+        ],
+        (), "outcome order",
+    ),
+    "shard.check_commit_atomicity": (
+        ShardChecker, CFG2,
+        lambda: [
+            trace_of(
+                ADeliverEvent(
+                    time=0.1, process=1,
+                    message=op_msg(1, 1, TxPrepare("tx1", K0, "debit", 1)),
+                ),
+                ADeliverEvent(
+                    time=0.2, process=1,
+                    message=op_msg(1, 2, TxCommit("tx1")),
+                ),
+            ),
+            trace_of(
+                ADeliverEvent(
+                    time=0.1, process=1,
+                    message=op_msg(2, 1, TxPrepare("tx1", K1, "credit", 1)),
+                ),
+                # group 1 aborts what group 0 committed
+                ADeliverEvent(
+                    time=0.2, process=1,
+                    message=op_msg(2, 2, TxAbort("tx1")),
+                ),
+            ),
+        ],
+        (), "atomicity",
+    ),
 }
 
-CHECKERS = (AbcastChecker, BroadcastChecker, ConsensusChecker)
+CHECKERS = (AbcastChecker, BroadcastChecker, ConsensusChecker, ShardChecker)
 PREFIX = {
     AbcastChecker: "abcast",
     BroadcastChecker: "broadcast",
     ConsensusChecker: "consensus",
+    ShardChecker: "shard",
 }
 
 

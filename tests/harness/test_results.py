@@ -131,6 +131,57 @@ class TestResultSetExport:
         assert len(out) == 2 * len(narrow)
 
 
+class TestStrictConcat:
+    """Schema mismatches must raise, naming the differing columns.
+
+    The silent union used to pad holes with ``None`` — which reads as
+    "this point measured nothing" three operators later.  Merging
+    per-shard sweep slices is exactly where that bites, so strict is
+    the default.
+    """
+
+    A = ResultSet({"name": ("a",), "goodput": (1.0,)})
+    B = ResultSet({"name": ("b",), "shed": (2.0,)})
+
+    def test_missing_and_extra_columns_are_named(self):
+        with pytest.raises(ValueError) as err:
+            concat([self.A, self.B])
+        message = str(err.value)
+        assert "input 1 vs input 0" in message
+        assert "missing ['goodput']" in message
+        assert "unexpected ['shed']" in message
+        assert "strict=False" in message
+
+    def test_same_columns_different_order_is_named(self):
+        swapped = ResultSet({"goodput": (3.0,), "name": ("c",)})
+        with pytest.raises(ValueError, match="different order"):
+            concat([self.A, swapped])
+
+    def test_mismatch_reports_the_offending_input_index(self):
+        with pytest.raises(ValueError, match="input 2 vs input 0"):
+            concat([self.A, self.A, self.B])
+
+    def test_strict_false_union_pads_with_none(self):
+        out = concat([self.A, self.B], strict=False)
+        assert out.columns == ("name", "goodput", "shed")
+        assert out.column("goodput") == (1.0, None)
+        assert out.column("shed") == (None, 2.0)
+
+    def test_matching_schemas_concat_cleanly(self):
+        out = concat([self.A, self.A])
+        assert out.columns == self.A.columns
+        assert out.column("name") == ("a", "a")
+
+    def test_classmethod_delegates(self):
+        with pytest.raises(ValueError, match="schema mismatch"):
+            ResultSet.concat([self.A, self.B])
+        out = ResultSet.concat([self.A, self.B], strict=False)
+        assert len(out) == 2
+
+    def test_empty_input_stays_empty(self):
+        assert len(concat([])) == 0
+
+
 class TestSeriesFrom:
     def test_points_and_results_stay_aligned_when_rows_are_skipped(
         self, suite

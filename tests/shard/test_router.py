@@ -1,0 +1,160 @@
+"""Router key-hashing and admission control.
+
+The hash must be a pure function of the key bytes — identical across
+runs, interpreter restarts, and pool worker processes (Python's salted
+``hash`` fails all three) — and resharding without a migration protocol
+must fail loudly rather than silently forking per-key history.
+"""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.message import make_payload
+from repro.harness.runner import parallel_map
+from repro.shard.router import Router, shard_for
+from repro.shard.service import ShardSpec, build_sharded_system
+from repro.stack.builder import StackSpec
+
+
+def _assign(key):
+    """Top-level (picklable) worker for the cross-process test."""
+    return shard_for(key, 16)
+
+
+class TestShardFor:
+    def test_pinned_assignments(self):
+        # Regression anchors: these exact values are part of the data
+        # contract — a changed hash re-homes every existing key.
+        assert [shard_for(k, 16) for k in
+                ("acct-A", "acct-B", "alpha", "beta")] == [1, 15, 14, 4]
+        assert [shard_for(k, 2) for k in "ABCD"] == [1, 1, 0, 0]
+        assert shard_for("hot-key", 4) == 2
+
+    def test_stable_across_calls_and_runs(self):
+        keys = [f"k{i}" for i in range(200)]
+        first = [shard_for(k, 16) for k in keys]
+        assert [shard_for(k, 16) for k in keys] == first
+
+    def test_stable_across_worker_processes(self):
+        keys = [f"k{i}" for i in range(64)]
+        local = [_assign(k) for k in keys]
+        pooled = parallel_map(_assign, keys, processes=2)
+        assert pooled == local
+
+    def test_covers_all_shards(self):
+        hit = {shard_for(f"key-{i}", 16) for i in range(1000)}
+        assert hit == set(range(16))
+
+    def test_range(self):
+        assert all(0 <= shard_for(f"x{i}", 7) < 7 for i in range(100))
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ConfigurationError, match="shards"):
+            shard_for("k", 0)
+
+
+def _service(shards=2, **knobs):
+    return build_sharded_system(
+        ShardSpec(
+            stack=StackSpec(
+                n=2, abcast="indirect", consensus="ct-indirect",
+                network="constant", seed=3,
+            ),
+            shards=shards,
+            **knobs,
+        )
+    )
+
+
+class TestAssignmentMemoAndRebalance:
+    def test_shard_of_matches_hash_and_memoizes(self):
+        service = _service()
+        router = service.router
+        assert router.shard_of("C") == shard_for("C", 2) == 0
+        assert router.shard_of("A") == shard_for("A", 2) == 1
+        assert router._assignments == {"C": 0, "A": 1}
+
+    def test_rebalance_moved_keys_fail_loudly_by_name(self):
+        service = _service()
+        router = service.router
+        moved = [k for k in "ABCDEFGH" if shard_for(k, 2) != shard_for(k, 3)]
+        assert moved, "test needs at least one moving key"
+        for key in "ABCDEFGH":
+            router.shard_of(key)
+        with pytest.raises(ConfigurationError) as err:
+            router.rebalance(3)
+        for key in moved:
+            assert repr(key) in str(err.value)
+
+    def test_rebalance_without_moving_keys_is_allowed(self):
+        service = _service()
+        router = service.router
+        # Nothing routed yet: no assignment can move.
+        router.rebalance(3)
+        # A key whose owner is 0 under both 2 and 4 shards is safe too.
+        stable = next(
+            k for k in (f"s{i}" for i in range(1000))
+            if shard_for(k, 2) == shard_for(k, 4)
+        )
+        router.shard_of(stable)
+        router.rebalance(4)
+
+
+class TestAdmission:
+    def test_shed_policy_drops_over_capacity(self):
+        service = _service(router_capacity=2, admission="shed")
+        router = service.router
+        admitted = [router.submit_shard(0, make_payload(8)) for _ in range(5)]
+        assert admitted == [True, True, False, False, False]
+        assert router.offered[0] == 5
+        assert router.admitted[0] == 2
+        assert router.shed[0] == 3
+        service.run_until_quiescent(timeout=1.0)
+        assert len(router.completions[0]) == 2
+
+    def test_delay_policy_retries_until_capacity_frees(self):
+        service = _service(router_capacity=1, admission="delay")
+        router = service.router
+        router.deadline = 1.0
+        for _ in range(4):
+            router.submit_shard(0, make_payload(8))
+        assert router.delayed[0] == 3
+        assert service.run_until_quiescent(timeout=2.0)
+        # Every parked op was eventually admitted and completed.
+        assert router.shed[0] == 0
+        assert router.admitted[0] == 4
+        assert len(router.completions[0]) == 4
+
+    def test_delay_policy_sheds_parked_ops_past_deadline(self):
+        service = _service(router_capacity=1, admission="delay",
+                           retry_delay=0.5)
+        router = service.router
+        router.deadline = 0.2  # shorter than one retry interval
+        for _ in range(3):
+            router.submit_shard(0, make_payload(8))
+        service.run_until_quiescent(timeout=2.0)
+        assert router.admitted[0] == 1
+        assert router.shed[0] == 2
+        assert router.pending() == 0
+
+    def test_completion_measures_sojourn(self):
+        service = _service()
+        router = service.router
+        router.submit_shard(1, make_payload(8))
+        assert service.run_until_quiescent(timeout=1.0)
+        ((arrival, sojourn),) = router.completions[1]
+        assert arrival == 0.0
+        assert sojourn > 0.0
+        stats = router.shard_stats(1)
+        assert stats["completed"] == 1.0
+        assert stats["sojourn_p99_ms"] == pytest.approx(sojourn * 1e3)
+
+    def test_routed_submit_lands_on_owner_shard(self):
+        service = _service()
+        router = service.router
+        router.submit("C", make_payload(8))  # owner: shard 0
+        router.submit("A", make_payload(8))  # owner: shard 1
+        assert service.run_until_quiescent(timeout=1.0)
+        assert [router.offered[0], router.offered[1]] == [1, 1]
+        assert len(router.completions[0]) == 1
+        assert len(router.completions[1]) == 1

@@ -1,0 +1,250 @@
+"""Open-loop aggregate sources: Poisson and MMPP bursty arrivals.
+
+Determinism is the load-bearing property: the whole arrival sequence
+must be a pure function of the seed — identical when replayed from the
+raw RNG stream, identical across pool worker processes, and identical
+when a cached suite point is served instead of recomputed.
+"""
+
+import pytest
+
+from repro import BurstyWorkload, PoissonWorkload, StackSpec, build_system
+from repro.core.exceptions import ConfigurationError
+from repro.harness.experiment import ExperimentSpec
+from repro.harness.runner import parallel_map, run_suite
+from repro.sim.rng import RngRegistry
+from repro.stack.layers import WORKLOADS
+
+
+def make(cls=PoissonWorkload, throughput=300.0, duration=0.5, seed=0, n=3,
+         **kwargs):
+    system = build_system(StackSpec(n=n, seed=seed))
+    wl = cls(
+        system, throughput=throughput, payload_size=32, duration=duration,
+        **kwargs,
+    )
+    return system, wl
+
+
+def replay_poisson(seed, n, throughput, duration):
+    """The arrival sequence, replayed draw for draw from the stream.
+
+    One expovariate gap per arrival plus one ``randrange`` entry-replica
+    pick, all from the single ``workload.aggregate`` stream — exactly
+    the draws ``PoissonWorkload`` makes on a crash-free run.
+    """
+    rng = RngRegistry(seed=seed).stream(PoissonWorkload.STREAM)
+    times, origins = [], []
+    t = rng.expovariate(throughput)
+    while t < duration:
+        times.append(t)
+        origins.append(1 + rng.randrange(n))
+        t += rng.expovariate(throughput)
+    return times, origins
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,cls", [
+        ("poisson", PoissonWorkload), ("bursty", BurstyWorkload),
+    ])
+    def test_registered_with_aggregate_meta(self, name, cls):
+        assert name in WORKLOADS
+        entry = WORKLOADS.get(name)
+        assert entry.get("aggregate") is True
+        # The per-replica sources are *not* aggregate: the shard sweep
+        # keys on this flag to decide what accepts a sink.
+        assert WORKLOADS.get("symmetric").get("aggregate") is None
+        system, _ = make()
+        built = entry.factory(
+            system, throughput=100.0, payload_size=8, duration=0.1,
+            arrivals="poisson",
+        )
+        assert isinstance(built, cls)
+
+    def test_factory_passes_sink_through(self):
+        system, _ = make()
+        arrivals = []
+        built = WORKLOADS.get("poisson").factory(
+            system, throughput=100.0, payload_size=8, duration=0.1,
+            sink=arrivals.append,
+        )
+        assert built.sink == arrivals.append
+
+
+class TestPoissonWorkload:
+    def test_arrivals_match_stream_replay(self):
+        system, wl = make(throughput=400.0, duration=0.6, seed=21)
+        assert wl.install() == 1
+        system.run(until=3.0, max_events=5_000_000)
+        times, origins = replay_poisson(21, 3, 400.0, 0.6)
+        events = system.trace.abroadcasts()
+        assert [e.time for e in events] == times
+        assert [e.message.mid.origin for e in events] == origins
+        assert wl.sent == len(times)
+
+    def test_single_chained_timer_for_whole_group(self):
+        system, wl = make(throughput=2000.0, duration=5.0)
+        before = system.engine.pending()
+        wl.install()
+        assert system.engine.pending() - before == 1
+
+    def test_same_seed_same_arrivals(self):
+        runs = []
+        for _ in range(2):
+            system, wl = make(seed=9)
+            wl.install()
+            system.run(until=2.0, max_events=3_000_000)
+            runs.append([e.time for e in system.trace.abroadcasts()])
+        assert runs[0] == runs[1]
+
+    def test_sink_bypasses_direct_injection(self):
+        arrivals = []
+        system, wl = make(duration=0.3, sink=arrivals.append)
+        wl.install()
+        system.run(until=1.0, max_events=1_000_000)
+        assert wl.sent == len(arrivals) > 0
+        assert system.trace.abroadcasts() == []  # nothing hit the stack
+
+    def test_arrivals_skip_crashed_replicas(self):
+        system, wl = make(throughput=500.0, duration=0.3)
+        wl.install()
+        system.processes[1].crash()
+        system.run(until=2.0, max_events=3_000_000)
+        assert wl.sent > 0
+        assert all(
+            e.message.mid.origin != 1 for e in system.trace.abroadcasts()
+        )
+
+    def test_offered_load_close_to_nominal(self):
+        system, wl = make(throughput=400.0, duration=1.0)
+        wl.install()
+        system.run(until=1.0, max_events=3_000_000)
+        assert wl.sent == pytest.approx(400, rel=0.25)
+
+    def test_validation(self):
+        system = build_system(StackSpec(n=3))
+        with pytest.raises(ConfigurationError):
+            PoissonWorkload(system, throughput=0, payload_size=1, duration=1)
+        with pytest.raises(ConfigurationError):
+            PoissonWorkload(system, throughput=10, payload_size=1, duration=0)
+        with pytest.raises(ConfigurationError):
+            PoissonWorkload(
+                system, throughput=10, payload_size=1, duration=1,
+                arrivals="mmpp",
+            )
+
+
+class TestBurstyWorkload:
+    def test_same_seed_same_arrivals(self):
+        runs = []
+        for _ in range(2):
+            system, wl = make(BurstyWorkload, throughput=400.0, duration=1.0,
+                              seed=13)
+            assert wl.install() == 1
+            system.run(until=3.0, max_events=5_000_000)
+            runs.append([e.time for e in system.trace.abroadcasts()])
+        assert runs[0] == runs[1] and len(runs[0]) > 0
+
+    def test_average_rate_matches_throughput(self):
+        # Long window, many ON/OFF cycles: the MMPP's long-run average
+        # must come out at the nominal rate despite 4x bursts.
+        system, wl = make(BurstyWorkload, throughput=300.0, duration=4.0,
+                          seed=2, on_fraction=0.25, cycle=0.1)
+        wl.install()
+        system.run(until=8.0, max_events=20_000_000)
+        assert wl.sent == pytest.approx(300.0 * 4.0, rel=0.2)
+
+    def test_bursts_exceed_average_rate(self):
+        # Peak arrivals-per-cycle window must reach well above what a
+        # steady source at the same average rate would put there.
+        system, wl = make(BurstyWorkload, throughput=400.0, duration=2.0,
+                          seed=5, on_fraction=0.2, cycle=0.1)
+        wl.install()
+        system.run(until=4.0, max_events=20_000_000)
+        times = [e.time for e in system.trace.abroadcasts()]
+        bucket = 0.02
+        counts: dict[int, int] = {}
+        for t in times:
+            counts[int(t / bucket)] = counts.get(int(t / bucket), 0) + 1
+        peak_rate = max(counts.values()) / bucket
+        assert peak_rate > 2.0 * 400.0
+
+    def test_on_fraction_one_degrades_to_steady_poisson(self):
+        system, wl = make(BurstyWorkload, throughput=300.0, duration=1.0,
+                          seed=4, on_fraction=1.0)
+        wl.install()
+        system.run(until=2.0, max_events=5_000_000)
+        assert wl.sent == pytest.approx(300, rel=0.25)
+
+    def test_sends_fall_inside_window(self):
+        system, wl = make(BurstyWorkload, throughput=300.0, duration=0.5,
+                          seed=6)
+        wl.install()
+        system.run(until=3.0, max_events=5_000_000)
+        times = [e.time for e in system.trace.abroadcasts()]
+        assert min(times) >= 0.0
+        assert max(times) < 0.5
+
+    def test_validation(self):
+        system = build_system(StackSpec(n=3))
+        with pytest.raises(ConfigurationError):
+            BurstyWorkload(system, throughput=10, payload_size=1, duration=1,
+                           on_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            BurstyWorkload(system, throughput=10, payload_size=1, duration=1,
+                           on_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            BurstyWorkload(system, throughput=10, payload_size=1, duration=1,
+                           cycle=0.0)
+
+
+def _arrival_times(seed):
+    """Top-level (picklable) worker: one seeded run's arrival times."""
+    system, wl = make(throughput=300.0, duration=0.4, seed=seed)
+    wl.install()
+    system.run(until=2.0, max_events=3_000_000)
+    return [e.time for e in system.trace.abroadcasts()]
+
+
+def _spec(workload, seed=17):
+    return ExperimentSpec(
+        name=f"{workload}-s{seed}",
+        stack=StackSpec(n=3, seed=seed),
+        throughput=200.0,
+        payload=16,
+        duration=0.3,
+        warmup=0.05,
+        drain=1.0,
+        workload=workload,
+    )
+
+
+class TestDeterminismAcrossWorkersAndCache:
+    def test_identical_draws_in_pool_workers(self):
+        seeds = [3, 3, 4]
+        serial = [_arrival_times(s) for s in seeds]
+        pooled = parallel_map(_arrival_times, seeds, processes=2)
+        assert pooled == serial
+        assert pooled[0] == pooled[1] != pooled[2]
+
+    @pytest.mark.parametrize("workload", ["poisson", "bursty"])
+    def test_suite_point_identical_serial_pooled_and_cached(
+        self, workload, tmp_path
+    ):
+        specs = [_spec(workload), _spec(workload, seed=18)]
+        serial = run_suite(specs, cache_dir=tmp_path / "a", processes=1)
+        pooled = run_suite(specs, cache_dir=tmp_path / "b", processes=2)
+        cached = run_suite(specs, cache_dir=tmp_path / "b", processes=2)
+        assert (cached.cache_hits, cached.cache_misses) == (2, 0)
+        for a, b, c in zip(serial.results, pooled.results, cached.results):
+            assert a.sent == b.sent == c.sent > 0
+            assert (
+                a.metric("latency")["mean_ms"]
+                == b.metric("latency")["mean_ms"]
+                == c.metric("latency")["mean_ms"]
+            )
+            assert (
+                a.metric("traffic")["frames_total"]
+                == b.metric("traffic")["frames_total"]
+                == c.metric("traffic")["frames_total"]
+            )
