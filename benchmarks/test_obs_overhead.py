@@ -1,0 +1,169 @@
+"""Disabled-path overhead of the observability layer: the ≤2% pin.
+
+The obs design promise (``src/repro/obs/telemetry.py``) is that a run
+with observability *available but not enabled* executes the same fused
+drain as a build that never imported ``repro.obs``: span recording
+rides the probe tap (absent unless attached), queue telemetry rides
+the event-queue observer slot (``None`` unless occupied), and the
+sampler schedules nothing until ``install``.  This module measures
+that promise instead of trusting it:
+
+* ``test_obs_off_drain_within_budget`` — an interleaved A/B timing of
+  the identical 50k-event drain from
+  ``benchmarks/test_engine_run_loop.py``, alternating rounds of a
+  plain engine with rounds of an engine built alongside constructed-
+  but-uninstalled obs objects (``Telemetry``, ``QueueTelemetry``, an
+  un-installed ``TelemetrySampler``).  Asserts
+  ``min(obs_off) / min(plain) <= 1.02``.  Interleaving and min-of-
+  rounds make the ratio robust to machine noise (an absolute ns/event
+  cross-machine assert would not be), and the batches accumulate:
+  scheduler noise only ever *inflates* a drain, so one quiet batch
+  reaching parity proves the structural claim, while a real 2%+ cost
+  would survive every batch.
+* ``test_obs_off_ns_per_event`` — the obs-off drain as a pedantic
+  pytest-benchmark entry, so the figure (and the measured ratio) land
+  in the perf ledger (``BENCH_pr10.json``) next to the engine series
+  and ``compare_bench.py`` carries them forward.
+* ``test_obs_on_sampler_ns_per_event`` — the *enabled* price for
+  context: same drain with a 1ms-cadence sampler installed.  Not
+  asserted against a budget (enabled cost is a feature, not a
+  regression), just recorded.
+
+The structural half of the pin — every observer hook call inside the
+queue/engine sits under an ``is not None`` guard — is enforced by
+``tools/hotpath_lint.py``; this module is the behavioural half.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.telemetry import QueueTelemetry, Telemetry, TelemetrySampler
+from repro.sim.engine import Engine
+
+EVENTS = 50_000
+#: min-of-rounds ratio ceiling for the obs-off drain (the ISSUE's 2%).
+BUDGET = 1.02
+ROUNDS = 12
+
+
+def _noop() -> None:
+    pass
+
+
+def _prefill(engine: Engine) -> None:
+    # Same flat 50k-event queue as test_engine_run_loop.py, so the
+    # ledger figures are directly comparable.
+    push = engine._queue.push_slot
+    for i in range(EVENTS):
+        push(i * 1e-6, _noop, ())
+
+
+def _drain_plain() -> float:
+    """One timed drain of a plain engine (prefill outside the clock)."""
+    engine = Engine()
+    _prefill(engine)
+    start = time.perf_counter()
+    engine.run_until_idle(max_events=EVENTS + 1)
+    elapsed = time.perf_counter() - start
+    assert engine.events_executed == EVENTS
+    return elapsed
+
+
+def _drain_obs_off() -> float:
+    """One timed drain with obs constructed but nothing enabled.
+
+    The telemetry registry, queue observer object, and sampler all
+    exist — as they would in a harness built with obs support — but
+    none is attached/installed, so the drain must not pay for them.
+    """
+    engine = Engine()
+    telemetry = Telemetry()
+    queue_telemetry = QueueTelemetry()
+    sampler = TelemetrySampler(engine, telemetry, queue=queue_telemetry)
+    assert not sampler.installed and engine.equeue.observer is None
+    _prefill(engine)
+    start = time.perf_counter()
+    engine.run_until_idle(max_events=EVENTS + 1)
+    elapsed = time.perf_counter() - start
+    assert engine.events_executed == EVENTS
+    assert len(telemetry) == 0 and queue_telemetry.pushes == 0
+    return elapsed
+
+
+def test_obs_off_drain_within_budget(benchmark):
+    """Interleaved A/B: obs-off drain stays within 2% of the plain one."""
+    plain: list[float] = []
+    obs_off: list[float] = []
+    _drain_plain()  # one warmup of each shape outside the sample
+    _drain_obs_off()
+    ratio = float("inf")
+    for _batch in range(3):
+        for _ in range(ROUNDS):
+            plain.append(_drain_plain())
+            obs_off.append(_drain_obs_off())
+        ratio = min(obs_off) / min(plain)
+        if ratio <= BUDGET:
+            break
+    assert ratio <= BUDGET, (
+        f"obs-off drain is {ratio:.4f}x the plain drain "
+        f"(budget {BUDGET}): min obs-off {min(obs_off) * 1e9 / EVENTS:.1f} "
+        f"vs plain {min(plain) * 1e9 / EVENTS:.1f} ns/event"
+    )
+    # Record the comparison through the benchmark fixture so the ratio
+    # lands in the ledger; the timed callable replays one obs-off round
+    # (the quantity under test) rather than re-running the whole A/B.
+    benchmark.pedantic(_drain_obs_off, rounds=3, iterations=1)
+    benchmark.extra_info["obs_off_over_plain_min_ratio"] = round(ratio, 4)
+    benchmark.extra_info["plain_ns_per_event"] = round(
+        min(plain) * 1e9 / EVENTS, 1
+    )
+    benchmark.extra_info["obs_off_ns_per_event"] = round(
+        min(obs_off) * 1e9 / EVENTS, 1
+    )
+
+
+def test_obs_off_ns_per_event(benchmark):
+    """The obs-off drain as a ledger entry (comparable to the engine
+    series: same 50k flat-queue shape, prefill inside the round)."""
+
+    def setup():
+        engine = Engine()
+        telemetry = Telemetry()
+        sampler = TelemetrySampler(engine, telemetry)
+        assert not sampler.installed
+        _prefill(engine)
+        return (engine,), {}
+
+    def drain(engine: Engine) -> int:
+        engine.run_until_idle(max_events=EVENTS + 1)
+        return engine.events_executed
+
+    benchmark.pedantic(drain, setup=setup, rounds=10, iterations=1)
+    benchmark.extra_info["ns_per_event"] = round(
+        benchmark.stats.stats.mean * 1e9 / EVENTS, 1
+    )
+
+
+def test_obs_on_sampler_ns_per_event(benchmark):
+    """The *enabled* price: a 1ms-cadence sampler riding the same
+    drain.  Recorded for the ledger, not asserted — enabling telemetry
+    legitimately adds events to the schedule."""
+
+    def setup():
+        engine = Engine()
+        telemetry = Telemetry()
+        sampler = TelemetrySampler(engine, telemetry)
+        sampler.install(period=0.001, until=EVENTS * 1e-6)
+        _prefill(engine)
+        return (engine, telemetry), {}
+
+    def drain(engine: Engine, telemetry: Telemetry) -> int:
+        engine.run_until_idle(max_events=2 * EVENTS)
+        assert len(telemetry.series("queue.depth")) > 0
+        return engine.events_executed
+
+    benchmark.pedantic(drain, setup=setup, rounds=10, iterations=1)
+    benchmark.extra_info["ns_per_event"] = round(
+        benchmark.stats.stats.mean * 1e9 / EVENTS, 1
+    )

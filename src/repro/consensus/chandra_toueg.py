@@ -66,6 +66,7 @@ class CtInstance:
         "phase3_done",
         "phase4_done",
         "rounds_executed",
+        "round_entries",
     )
 
     def __init__(self, service: "ChandraTouegConsensus", k: int) -> None:
@@ -89,6 +90,8 @@ class CtInstance:
         self.phase4_done: set[int] = set()
         #: Number of rounds this process started (diagnostics/tests).
         self.rounds_executed = 0
+        #: Simulated time at which each round was entered (obs spans).
+        self.round_entries: list[float] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -116,6 +119,7 @@ class CtInstance:
         svc = self.service
         self.r += 1
         self.rounds_executed += 1
+        self.round_entries.append(svc.process.engine.now)
         r = self.r
         c = svc.config.coordinator(r)
         if r > 1:

@@ -69,6 +69,7 @@ class MrInstance:
         "echoed",
         "evaluated",
         "rounds_executed",
+        "round_entries",
     )
 
     def __init__(self, service: "MostefaouiRaynalConsensus", k: int) -> None:
@@ -84,6 +85,8 @@ class MrInstance:
         self.echoed: set[int] = set()
         self.evaluated: set[int] = set()
         self.rounds_executed = 0
+        #: Simulated time at which each round was entered (obs spans).
+        self.round_entries: list[float] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -106,6 +109,7 @@ class MrInstance:
         svc = self.service
         self.r += 1
         self.rounds_executed += 1
+        self.round_entries.append(svc.process.engine.now)
         r = self.r
         if svc.pid == svc.config.coordinator(r):
             # Phase 1, coordinator: est_from_c <- estimate_p, send to all

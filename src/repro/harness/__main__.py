@@ -18,6 +18,15 @@ The ``explore`` verb runs bounded systematic schedule exploration
     python -m repro.harness explore --stack all --budget 300
     python -m repro.harness explore --stack indirect --strategy random-walk
     python -m repro.harness explore --stack faulty --replay "5:c2"
+    python -m repro.harness explore --replay "5:c2" --export-trace bug.json
+
+The ``obs`` verb runs one observed experiment (:mod:`repro.obs`):
+causal spans + runtime telemetry, exported as a Perfetto-loadable
+Chrome trace or as ResultSet CSV/JSON tables::
+
+    python -m repro.harness obs --stack indirect --export chrome out.json
+    python -m repro.harness obs --stack sequencer --period 0.002 \
+        --export chrome out.json --export csv telemetry.csv
 
 Figure grids execute through :func:`repro.harness.runner.run_suite`:
 points fan out over a process pool (``--jobs``) and completed points
@@ -140,9 +149,17 @@ def explore_main(argv: list[str]) -> int:
     parser.add_argument("--replay", metavar="REPRO", default=None,
                         help="replay one repro string against --stack "
                              "instead of searching")
+    parser.add_argument("--export-trace", nargs="?", const="trace.json",
+                        default=None, metavar="PATH",
+                        help="with --replay: derive causal spans from the "
+                             "replayed schedule and export a Chrome/"
+                             "Perfetto trace (default PATH: trace.json)")
     parser.add_argument("--format", choices=FORMATS, default="table",
                         help="outcome table format")
     args = parser.parse_args(argv)
+
+    if args.export_trace is not None and args.replay is None:
+        parser.error("--export-trace requires --replay")
 
     if args.strategy not in STRATEGIES:
         parser.error(STRATEGIES.unknown_message(args.strategy))
@@ -185,6 +202,13 @@ def explore_main(argv: list[str]) -> int:
             crashed = " (crashed)" if system.processes[pid].crashed else ""
             print(f"  p{pid}{crashed} adelivered: "
                   f"{[str(mid) for mid in sequence]}")
+        if args.export_trace is not None:
+            from repro.obs import SpanRecorder, write_chrome_trace
+
+            recorder = SpanRecorder.from_trace(system.trace, system)
+            write_chrome_trace(args.export_trace, recorder.spans)
+            print(f"trace exported: {args.export_trace} "
+                  f"({len(recorder.spans)} spans; open in ui.perfetto.dev)")
         if verdict is None:
             print("verdict: all checked properties hold")
             return 0
@@ -223,11 +247,138 @@ def explore_main(argv: list[str]) -> int:
     return 0
 
 
+def obs_main(argv: list[str]) -> int:
+    """The ``obs`` verb: one observed run, exported as a timeline."""
+    from repro.explore.runner import PRESETS
+    from repro.harness.experiment import ExperimentSpec
+    from repro.obs import (
+        chrome_trace,
+        observe_experiment,
+        spans_result_set,
+        telemetry_result_set,
+        write_chrome_trace,
+    )
+    from repro.stack.builder import StackSpec
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness obs",
+        description="Run one experiment with causal span tracing and "
+                    "runtime telemetry, and export the timeline "
+                    "(Chrome/Perfetto trace or ResultSet CSV/JSON).",
+    )
+    parser.add_argument(
+        "--stack", default="indirect", metavar="NAME",
+        help="stack preset (%s) or an abcast/consensus[/rb] path "
+             "(default: indirect)" % ", ".join(sorted(PRESETS)),
+    )
+    parser.add_argument("--n", type=int, default=3,
+                        help="group size (default: 3)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--throughput", type=float, default=200.0,
+                        help="global abroadcast rate, msgs/s (default: 200)")
+    parser.add_argument("--payload", type=int, default=64,
+                        help="payload bytes (default: 64)")
+    parser.add_argument("--duration", type=float, default=0.3,
+                        help="sending window, simulated seconds")
+    parser.add_argument("--warmup", type=float, default=0.05)
+    parser.add_argument("--drain", type=float, default=0.5)
+    parser.add_argument("--period", type=float, default=0.005,
+                        help="telemetry sampling cadence, simulated "
+                             "seconds; 0 disables sampling (default: 0.005)")
+    parser.add_argument("--trace-mode", choices=("full", "metrics"),
+                        default="full",
+                        help="'metrics' skips trace retention and safety "
+                             "checks; the span forest is identical either "
+                             "way")
+    parser.add_argument(
+        "--export", nargs=2, action="append", default=[],
+        metavar=("FORMAT", "PATH"),
+        help="export the run: 'chrome PATH' (Perfetto-loadable trace), "
+             "'csv PATH'/'json PATH' (telemetry time series as a "
+             "ResultSet table), 'spans-csv PATH'/'spans-json PATH' "
+             "(the span forest as a table); repeatable",
+    )
+    args = parser.parse_args(argv)
+
+    if args.stack in PRESETS:
+        layer_kwargs = dict(PRESETS[args.stack])
+    else:
+        parts = args.stack.split("/")
+        if len(parts) not in (2, 3):
+            parser.error(
+                f"unknown stack {args.stack!r}; presets: "
+                f"{', '.join(sorted(PRESETS))}, or an "
+                "abcast/consensus[/rb] path"
+            )
+        layer_kwargs = dict(abcast=parts[0], consensus=parts[1])
+        if len(parts) == 3:
+            layer_kwargs["rb"] = parts[2]
+
+    formats = ("chrome", "csv", "json", "spans-csv", "spans-json")
+    for fmt, _path in args.export:
+        if fmt not in formats:
+            parser.error(
+                f"unknown export format {fmt!r}; choose from "
+                f"{', '.join(formats)}"
+            )
+
+    from repro.core.exceptions import ConfigurationError
+
+    try:
+        spec = ExperimentSpec(
+            name=f"obs-{args.stack.replace('/', '-')}",
+            stack=StackSpec(n=args.n, seed=args.seed, **layer_kwargs),
+            throughput=args.throughput,
+            payload=args.payload,
+            duration=args.duration,
+            warmup=args.warmup,
+            drain=args.drain,
+            trace_mode=args.trace_mode,
+            safety_checks=args.trace_mode == "full",
+        )
+        run = observe_experiment(spec, period=args.period or None)
+    except ConfigurationError as error:
+        parser.error(str(error))
+
+    from collections import Counter
+
+    kinds = Counter(span.kind for span in run.spans)
+    print(f"observed {spec.name}: {run.result.sent} sent, "
+          f"{len(run.spans)} spans "
+          f"({', '.join(f'{k}={v}' for k, v in sorted(kinds.items()))}), "
+          f"{len(run.telemetry)} telemetry series")
+    print(f"  mean delivery latency: "
+          f"{run.result.mean_latency_ms:.3f} ms")
+
+    for fmt, path in args.export:
+        if fmt == "chrome":
+            write_chrome_trace(path, run.spans, run.telemetry)
+        else:
+            table = (
+                spans_result_set(run.spans)
+                if fmt.startswith("spans-")
+                else telemetry_result_set(run.telemetry)
+            )
+            rendered = (
+                table.to_csv() if fmt.endswith("csv") else table.to_json()
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+        print(f"  exported {fmt}: {path}")
+    if not args.export:
+        doc = chrome_trace(run.spans, run.telemetry)
+        print(f"  (no --export given; a chrome export would hold "
+              f"{len(doc['traceEvents'])} trace events)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "explore":
         return explore_main(argv[1:])
+    if argv and argv[0] == "obs":
+        return obs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate figures from Ekwall & Schiper (DSN 2006).",

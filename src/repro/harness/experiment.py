@@ -195,15 +195,41 @@ class ExperimentResult:
         }
 
 
-def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    """Build, drive, probe, and (safety-)check one run."""
+def run_experiment(
+    spec: ExperimentSpec,
+    extra_probes: tuple = (),
+    on_system=None,
+) -> ExperimentResult:
+    """Build, drive, probe, and (safety-)check one run.
+
+    Args:
+        spec: The run description.
+        extra_probes: Additional ``(name, probe)`` pairs appended after
+            the spec's registry-named probes — the seam the
+            observability layer uses to attach a caller-held
+            :class:`~repro.obs.spans.SpanRecorder` (the spec stays
+            frozen and picklable; ad-hoc probe *instances* ride here).
+            Names must not collide with ``spec.metrics``.
+        on_system: Optional ``callback(system)`` invoked right after
+            :func:`~repro.stack.builder.build_system`, before the
+            workload runs — the hook telemetry samplers use to install
+            their simulated-time timers.
+    """
     started = time.perf_counter()
     base_trace: TraceObserver = (
         CountingTrace() if spec.trace_mode == "metrics" else Trace()
     )
-    named_probes = build_probes(spec)
+    named_probes = build_probes(spec) + tuple(extra_probes)
+    names = [name for name, _ in named_probes]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(
+            f"duplicate probe names across metrics axis and "
+            f"extra_probes: {sorted(names)}"
+        )
     tap = ProbeTap(base_trace, (probe for _, probe in named_probes))
     system = build_system(spec.stack, CrashSchedule.none(), trace=tap)
+    if on_system is not None:
+        on_system(system)
     workload = WORKLOADS.get(spec.workload).factory(
         system,
         throughput=spec.throughput,

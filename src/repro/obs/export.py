@@ -1,0 +1,340 @@
+"""Timeline export: Chrome trace-event JSON and ResultSet tables.
+
+:func:`chrome_trace` renders a span forest (plus optional telemetry)
+as the Chrome trace-event format — the JSON both Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` load directly:
+
+* one **process group per shard/abcast group** (``pid`` = group), with
+  ``process_name`` metadata;
+* one **thread lane per (process, category)** — abcast spans, deliver
+  legs, rb legs, consensus instances each get their own track under
+  the process, so a consensus round sits visually under its instance
+  while a concurrent message's delivery does not collide with it.
+  Overlapping same-track spans (two in-flight messages from one
+  sender) spill onto numbered sub-lanes, because Chrome duration
+  events (``"B"``/``"E"``) must nest strictly within one ``tid``;
+* zero-width spans (crashes, votes) as instant events (``"i"``);
+* telemetry series as counter tracks (``"C"``) on a dedicated
+  ``telemetry`` process.
+
+``ts`` is emitted in microseconds, globally sorted, and every ``"B"``
+has a matching LIFO ``"E"`` on its lane — :func:`validate_chrome_trace`
+re-checks exactly those properties (CI runs it on every exported
+trace).
+
+The flat table side: :func:`spans_result_set` and
+:func:`telemetry_result_set` expose the same data as
+:class:`~repro.harness.results.ResultSet` columns for CSV/JSON
+consumers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+from repro.harness.results import ResultSet
+from repro.obs.spans import Span
+from repro.obs.telemetry import Telemetry
+
+#: Span kind -> lane category (which thread track the span renders on).
+_CATEGORY = {
+    "abcast": "abcast",
+    "tx-prepare": "abcast",
+    "tx-outcome": "abcast",
+    "adeliver": "deliver",
+    "rb": "rb",
+    "urb": "rb",
+    "rdeliver": "rb",
+    "consensus": "consensus",
+    "round": "consensus",
+    "crash": "marks",
+    "tx-vote": "marks",
+}
+
+#: Stable on-screen order of the lane categories within a process.
+_CATEGORY_ORDER = ("abcast", "deliver", "consensus", "rb", "marks")
+
+
+def _us(t: float) -> float:
+    """Simulated seconds -> trace microseconds (monotone, rounded)."""
+    return round(t * 1e6, 3)
+
+
+def _sublanes(spans: list[Span]) -> list[list[Span]]:
+    """Partition one track's spans into nesting-safe sub-lanes.
+
+    Chrome ``B``/``E`` events on one ``tid`` form a stack, so two
+    overlapping-but-not-nested spans cannot share a lane.  Greedy
+    first-fit: spans in (start, longest-first) order go to the first
+    lane where they either start after everything open has closed or
+    nest fully inside the innermost open span.
+    """
+    order = sorted(
+        spans, key=lambda s: (s.start, -s.end, s.kind, s.name, s.sid)
+    )
+    lanes: list[list[Span]] = []
+    open_ends: list[list[float]] = []  # per lane: stack of open end times
+    for span in order:
+        placed = False
+        for lane, ends in zip(lanes, open_ends):
+            while ends and ends[-1] <= span.start:
+                ends.pop()
+            if not ends or span.end <= ends[-1]:
+                lane.append(span)
+                if span.end > span.start:
+                    ends.append(span.end)
+                placed = True
+                break
+        if not placed:
+            lanes.append([span])
+            open_ends.append([span.end] if span.end > span.start else [])
+    return lanes
+
+
+def _lane_events(spans: list[Span], pid: int, tid: int) -> list[dict]:
+    """B/E/i events of one sub-lane, in emission order (matched LIFO)."""
+    out: list[dict] = []
+    open_stack: list[tuple[float, Span]] = []
+
+    def close_until(time: float | None) -> None:
+        while open_stack and (time is None or open_stack[-1][0] <= time):
+            end, span = open_stack.pop()
+            out.append(
+                {
+                    "name": span.name,
+                    "cat": span.kind,
+                    "ph": "E",
+                    "ts": _us(end),
+                    "pid": pid,
+                    "tid": tid,
+                }
+            )
+
+    for span in sorted(spans, key=lambda s: (s.start, -s.end, s.sid)):
+        close_until(span.start)
+        event = {
+            "name": span.name,
+            "cat": span.kind,
+            "ph": "B",
+            "ts": _us(span.start),
+            "pid": pid,
+            "tid": tid,
+            "args": {"sid": span.sid, "parent": span.parent},
+        }
+        if span.start == span.end:
+            event["ph"] = "i"
+            event["s"] = "t"
+            out.append(event)
+        else:
+            out.append(event)
+            open_stack.append((span.end, span))
+    close_until(None)
+    return out
+
+
+def _metadata(pid: int, tid: int | None, name: str) -> dict:
+    kind = "process_name" if tid is None else "thread_name"
+    event = {
+        "name": kind,
+        "ph": "M",
+        "ts": 0,
+        "pid": pid,
+        "tid": 0 if tid is None else tid,
+        "args": {"name": name},
+    }
+    return event
+
+
+def chrome_trace(
+    spans: Iterable[Span],
+    telemetry: Telemetry | None = None,
+    group_names: Mapping[int, str] | None = None,
+) -> dict:
+    """Render spans (+ telemetry counters) as a trace-event document.
+
+    Args:
+        spans: The span forest (any order; one or many groups).
+        telemetry: Optional sampled series, rendered as counter tracks
+            on a dedicated ``telemetry`` process.
+        group_names: Optional ``group -> process_name`` display labels;
+            defaults to ``"group <i>"`` (or ``"system"`` when every
+            span lives in group 0).
+    """
+    spans = list(spans)
+    group_names = dict(group_names or {})
+    # (group, process) -> category -> spans
+    tracks: dict[tuple[int, Any], dict[str, list[Span]]] = {}
+    for span in spans:
+        category = _CATEGORY.get(span.kind, span.kind)
+        tracks.setdefault((span.group, span.process), {}).setdefault(
+            category, []
+        ).append(span)
+
+    groups = sorted({span.group for span in spans})
+    single = groups == [0]
+    events: list[dict] = []
+    for group in groups:
+        label = group_names.get(
+            group, "system" if single else f"group {group}"
+        )
+        events.append(_metadata(group, None, label))
+
+    def category_rank(category: str) -> tuple[int, str]:
+        try:
+            return (_CATEGORY_ORDER.index(category), category)
+        except ValueError:
+            return (len(_CATEGORY_ORDER), category)
+
+    track_order = sorted(
+        tracks, key=lambda key: (key[0], key[1] is None, key[1] or 0)
+    )
+    for block, (group, process) in enumerate(track_order):
+        categories = tracks[(group, process)]
+        owner = "service" if process is None else f"p{process}"
+        ordered_categories = sorted(categories, key=category_rank)
+        # tids are dense per (group, process) block — block * 1000
+        # keeps one process's lanes adjacent regardless of how many
+        # overflow sub-lanes a congested category needs.
+        next_tid = block * 1000
+        for category in ordered_categories:
+            for lane_index, lane in enumerate(_sublanes(categories[category])):
+                tid = next_tid
+                next_tid += 1
+                suffix = f" ·{lane_index + 1}" if lane_index else ""
+                events.append(
+                    _metadata(group, tid, f"{owner} {category}{suffix}")
+                )
+                events.extend(_lane_events(lane, group, tid))
+
+    if telemetry is not None and len(telemetry):
+        counter_pid = (max(groups) + 1) if groups else 0
+        events.append(_metadata(counter_pid, None, "telemetry"))
+        for name, series in telemetry.items():
+            for t, value in series:
+                events.append(
+                    {
+                        "name": name,
+                        "cat": "telemetry",
+                        "ph": "C",
+                        "ts": _us(t),
+                        "pid": counter_pid,
+                        "tid": 0,
+                        "args": {"value": value},
+                    }
+                )
+
+    # Stable global sort: ts order, per-lane emission order preserved
+    # at ties (Python's sort is stable), metadata first at ts 0.
+    ordered = sorted(
+        enumerate(events),
+        key=lambda pair: (pair[1]["ts"], pair[1]["ph"] != "M", pair[0]),
+    )
+    return {
+        "traceEvents": [event for _, event in ordered],
+        "displayTimeUnit": "ms",
+    }
+
+
+def validate_chrome_trace(doc: Any) -> None:
+    """Assert the trace-event properties CI relies on; raise ValueError.
+
+    Checks: top-level ``traceEvents`` list, required keys per event,
+    globally non-decreasing ``ts``, known phases, and per-lane matched
+    LIFO ``B``/``E`` pairs (same name closes the innermost open slice).
+    """
+    if not isinstance(doc, Mapping) or "traceEvents" not in doc:
+        raise ValueError("trace document must be a mapping with traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    last_ts: float | None = None
+    stacks: dict[tuple[Any, Any], list[str]] = {}
+    for index, event in enumerate(events):
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in event:
+                raise ValueError(f"event {index} missing {key!r}: {event}")
+        phase = event["ph"]
+        if phase == "M":
+            continue
+        ts = event["ts"]
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(
+                f"event {index}: ts {ts} < previous {last_ts} "
+                "(not monotone)"
+            )
+        last_ts = ts
+        lane = (event["pid"], event["tid"])
+        if phase == "B":
+            stacks.setdefault(lane, []).append(event["name"])
+        elif phase == "E":
+            stack = stacks.get(lane)
+            if not stack:
+                raise ValueError(
+                    f"event {index}: E {event['name']!r} on empty lane "
+                    f"{lane}"
+                )
+            if stack[-1] != event["name"]:
+                raise ValueError(
+                    f"event {index}: E {event['name']!r} does not match "
+                    f"open B {stack[-1]!r} on lane {lane}"
+                )
+            stack.pop()
+        elif phase in ("i", "I", "C"):
+            pass
+        else:
+            raise ValueError(f"event {index}: unexpected phase {phase!r}")
+    unclosed = {lane: stack for lane, stack in stacks.items() if stack}
+    if unclosed:
+        raise ValueError(f"unclosed B events: {unclosed}")
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Iterable[Span],
+    telemetry: Telemetry | None = None,
+    group_names: Mapping[int, str] | None = None,
+) -> dict:
+    """Render, validate, and write a trace; returns the document."""
+    doc = chrome_trace(spans, telemetry=telemetry, group_names=group_names)
+    validate_chrome_trace(doc)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle)
+    return doc
+
+
+def spans_result_set(spans: Iterable[Span]) -> ResultSet:
+    """The span forest as a flat table (one row per span)."""
+    columns: dict[str, list[Any]] = {
+        "sid": [],
+        "parent": [],
+        "kind": [],
+        "name": [],
+        "process": [],
+        "group": [],
+        "start": [],
+        "end": [],
+        "duration": [],
+    }
+    for span in spans:
+        columns["sid"].append(span.sid)
+        columns["parent"].append(span.parent)
+        columns["kind"].append(span.kind)
+        columns["name"].append(span.name)
+        columns["process"].append(span.process)
+        columns["group"].append(span.group)
+        columns["start"].append(span.start)
+        columns["end"].append(span.end)
+        columns["duration"].append(span.duration)
+    return ResultSet(columns)
+
+
+def telemetry_result_set(telemetry: Telemetry) -> ResultSet:
+    """Sampled series as a long-format table (series, t, value)."""
+    columns: dict[str, list[Any]] = {"series": [], "t": [], "value": []}
+    for name, series in telemetry.items():
+        for t, value in series:
+            columns["series"].append(name)
+            columns["t"].append(t)
+            columns["value"].append(value)
+    return ResultSet(columns)

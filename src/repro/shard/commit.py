@@ -60,8 +60,18 @@ class TwoGroupCommit:
         self._legs: dict[str, tuple[int, ...]] = {}
         self._votes: dict[str, dict[int, bool]] = {}
         self._outcome: dict[str, str] = {}
+        self._vote_observers: list = []
         self.committed = 0
         self.aborted = 0
+
+    def on_vote(self, callback) -> None:
+        """Register ``callback(shard, txid, vote)`` for accepted votes.
+
+        Fires once per decided leg (the first vote; duplicates never
+        reach observers), before the outcome is injected — so observers
+        see the vote instant strictly inside the transaction interval.
+        """
+        self._vote_observers.append(callback)
 
     def submit(self, legs: dict[int, TxPrepare]) -> str:
         """Start a transaction; one prepare leg per participant group.
@@ -109,6 +119,8 @@ class TwoGroupCommit:
         if shard not in legs or shard in self._votes[txid]:
             return
         self._votes[txid][shard] = vote
+        for callback in self._vote_observers:
+            callback(shard, txid, vote)
         if len(self._votes[txid]) == len(legs):
             self._decide(txid)
 

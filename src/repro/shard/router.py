@@ -30,6 +30,7 @@ re-hashing would break per-key total order mid-run.
 from __future__ import annotations
 
 import hashlib
+from math import ceil
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.exceptions import ConfigurationError
@@ -282,6 +283,75 @@ class Router:
                 sum(window) / len(window) * 1e3 if window else 0.0
             ),
         }
+
+    def window_count(self, window: float) -> int:
+        """Number of fixed-width windows covering the measurement span.
+
+        A pure function of the window width and the measurement bounds
+        (not of the traffic), so every point of a sweep with the same
+        ``duration``/``warmup`` produces the same windowed schema.
+        """
+        if window <= 0:
+            raise ConfigurationError(f"window must be > 0, got {window}")
+        lo = self.measure_from
+        hi = (
+            self.measure_until
+            if self.measure_until is not None
+            else self.engine.now
+        )
+        span = max(hi - lo, 0.0)
+        return max(1, ceil(span / window - 1e-9))
+
+    def windowed_stats(
+        self, window: float, shard: int | None = None
+    ) -> list[dict[str, float]]:
+        """Fixed-width completion windows over the measurement span.
+
+        Completions are bucketed by **arrival** time into
+        :meth:`window_count` windows of ``window`` seconds starting at
+        ``measure_from``; each bucket reports its bounds, completion
+        count, goodput, and sojourn p99 — the time series the sweep
+        layer exports as ``window.<i>.*`` columns and the telemetry
+        sampler plots live.
+
+        Args:
+            window: Bucket width, simulated seconds.
+            shard: One shard's completions, or ``None`` for all shards
+                aggregated.
+        """
+        count = self.window_count(window)
+        lo = self.measure_from
+        hi = (
+            self.measure_until
+            if self.measure_until is not None
+            else self.engine.now
+        )
+        buckets: list[list[float]] = [[] for _ in range(count)]
+        if shard is None:
+            source = [c for per_shard in self.completions for c in per_shard]
+        else:
+            source = list(self.completions[shard])
+        for arrival, sojourn in source:
+            if arrival < lo or arrival >= hi:
+                continue
+            index = min(count - 1, int((arrival - lo) / window))
+            buckets[index].append(sojourn)
+        out = []
+        for i, bucket in enumerate(buckets):
+            bucket.sort()
+            start = lo + i * window
+            end = min(hi, start + window)
+            span = max(end - start, 1e-12)
+            out.append(
+                {
+                    "start": start,
+                    "end": end,
+                    "completed": float(len(bucket)),
+                    "goodput": len(bucket) / span,
+                    "sojourn_p99_ms": _percentile(bucket, 0.99) * 1e3,
+                }
+            )
+        return out
 
     def window_stats(self) -> dict[str, float]:
         """Aggregate measurement-window stats across all shards."""

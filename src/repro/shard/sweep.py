@@ -56,6 +56,7 @@ class ShardPoint:
     router_latency: float
     retry_delay: float
     max_events: int | None
+    window: float | None = None
 
 
 @dataclass(frozen=True)
@@ -79,6 +80,14 @@ class ShardSweepSpec:
         router_capacity / admission / router_latency / retry_delay:
             Router knobs (see :class:`~repro.shard.router.Router`).
         max_events: Safety valve per point.
+        window: Optional fixed window width (simulated seconds); when
+            set, every row additionally carries ``window.<i>.goodput``
+            and ``window.<i>.sojourn_p99_ms`` time-series columns from
+            :meth:`~repro.shard.router.Router.windowed_stats` — the
+            windowed view that makes a saturation knee visible *within*
+            a run, not just across the load axis.  The window count is
+            a pure function of ``duration``/``warmup``/``window``, so
+            all points share one schema (strict-concat safe).
     """
 
     name: str
@@ -96,8 +105,16 @@ class ShardSweepSpec:
     router_latency: float = 50e-6
     retry_delay: float = 2e-3
     max_events: int | None = None
+    window: float | None = None
 
     def __post_init__(self) -> None:
+        if self.window is not None and not (
+            0 < self.window <= self.duration - self.warmup
+        ):
+            raise ConfigurationError(
+                f"window must be in (0, duration - warmup], got "
+                f"{self.window}"
+            )
         for workload in self.workloads:
             entry = WORKLOADS.get(workload)
             if not entry.get("aggregate"):
@@ -142,6 +159,7 @@ class ShardSweepSpec:
                                     router_latency=self.router_latency,
                                     retry_delay=self.retry_delay,
                                     max_events=self.max_events,
+                                    window=self.window,
                                 )
                             )
         return tuple(out)
@@ -211,6 +229,15 @@ def run_shard_point(point: ShardPoint) -> ResultSet:
         columns[f"shard.{name}"] = []
     for name, _value in admission.fields:
         columns[f"admission.{name}"] = []
+    windows: list[list[dict[str, float]]] = []
+    if point.window is not None:
+        windows = [
+            router.windowed_stats(point.window, shard=shard)
+            for shard in range(point.shards)
+        ]
+        for index in range(len(windows[0])):
+            columns[f"window.{index}.goodput"] = []
+            columns[f"window.{index}.sojourn_p99_ms"] = []
     for shard in range(point.shards):
         stats = router.shard_stats(shard)
         columns["name"].append(point.name)
@@ -228,6 +255,12 @@ def run_shard_point(point: ShardPoint) -> ResultSet:
             columns[f"shard.{name}"].append(stats[name])
         for name, value in admission.fields:
             columns[f"admission.{name}"].append(value)
+        if point.window is not None:
+            for index, bucket in enumerate(windows[shard]):
+                columns[f"window.{index}.goodput"].append(bucket["goodput"])
+                columns[f"window.{index}.sojourn_p99_ms"].append(
+                    bucket["sojourn_p99_ms"]
+                )
     return ResultSet(columns)
 
 

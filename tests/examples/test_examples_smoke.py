@@ -1,0 +1,71 @@
+"""Every example script runs clean under ``PYTHONPATH=src``.
+
+The examples are the repo's executable documentation, and nothing else
+imports them — so API drift breaks them silently.  This smoke test
+pins all of them: each script must exit 0 (their internal asserts are
+the real checks), and the trace-viewer's exports must re-validate.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLES = sorted(
+    p.name for p in (REPO / "examples").glob("*.py")
+)
+
+
+def run_example(name: str, tmp_path: Path, *args: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, str(REPO / "examples" / name), *args],
+        cwd=tmp_path,  # any stray output lands in the sandbox
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_manifest_is_current():
+    # A new example must be added to the parametrized list below (or
+    # this file's docstring claim goes stale).
+    assert EXAMPLES == sorted(
+        [
+            "explore_bug_hunt.py",
+            "faulty_vs_indirect.py",
+            "latency_study.py",
+            "partition_study.py",
+            "quickstart.py",
+            "replicated_bank.py",
+            "trace_analysis.py",
+            "trace_viewer.py",
+        ]
+    )
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name, tmp_path):
+    args = (str(tmp_path),) if name == "trace_viewer.py" else ()
+    result = run_example(name, tmp_path, *args)
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{name} printed nothing"
+
+
+def test_trace_viewer_exports_validate(tmp_path):
+    from repro.obs.export import validate_chrome_trace
+
+    result = run_example("trace_viewer.py", tmp_path, str(tmp_path))
+    assert result.returncode == 0, result.stderr
+    for artifact in ("bank_timeline.json", "replay_timeline.json"):
+        doc = json.loads((tmp_path / artifact).read_text())
+        validate_chrome_trace(doc)
+        assert doc["traceEvents"]
